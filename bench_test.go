@@ -1,0 +1,270 @@
+// Benchmarks regenerating the paper's evaluation: one benchmark family per
+// table/figure plus ablations of the design choices in DESIGN.md. Custom
+// metrics report search effort (states, MB) alongside time so the Table 1
+// shape (guides turn an infeasible search into a small one) is visible in
+// `go test -bench`.
+package guidedta_test
+
+import (
+	"fmt"
+	"testing"
+
+	"guidedta/internal/core"
+	"guidedta/internal/mc"
+	"guidedta/internal/plant"
+	"guidedta/internal/schedule"
+	"guidedta/internal/sim"
+	"guidedta/internal/synth"
+	"guidedta/internal/ta"
+)
+
+// exploreOnce builds the plant and runs one search, reporting effort
+// metrics. Models are rebuilt per iteration (systems freeze on explore and
+// search state is per-run), so build cost is included, exactly as the
+// paper's measurements include model loading.
+func exploreOnce(b *testing.B, n int, g plant.GuideLevel, order mc.SearchOrder, expectFound bool) {
+	b.Helper()
+	var last mc.Result
+	for i := 0; i < b.N; i++ {
+		p, err := plant.Build(plant.Config{Qualities: plant.CycleQualities(n), Guides: g})
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts := mc.DefaultOptions(order)
+		opts.MaxStates = 2_000_000
+		opts.Priority = p.Priority
+		last, err = mc.Explore(p.Sys, p.Goal, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if last.Found != expectFound && last.Abort == mc.AbortNone {
+			b.Fatalf("found=%v, expected %v", last.Found, expectFound)
+		}
+	}
+	b.ReportMetric(float64(last.Stats.StatesExplored), "states/op")
+	b.ReportMetric(float64(last.Stats.MemBytes)/(1<<20), "MB")
+}
+
+// BenchmarkTable1 regenerates the paper's Table 1 grid (time and space for
+// generating schedules) at benchmark-friendly sizes; cmd/table1 produces
+// the full table with the paper's cutoff semantics.
+func BenchmarkTable1(b *testing.B) {
+	type cell struct {
+		g     plant.GuideLevel
+		order mc.SearchOrder
+		sizes []int
+		found bool
+	}
+	cells := []cell{
+		{plant.AllGuides, mc.BFS, []int{1, 2, 3}, true},
+		{plant.AllGuides, mc.DFS, []int{1, 2, 3, 5}, true},
+		{plant.AllGuides, mc.BSH, []int{1, 2, 3}, true},
+		{plant.SomeGuides, mc.BFS, []int{1, 2}, true},
+		{plant.SomeGuides, mc.DFS, []int{1, 2}, true},
+		{plant.SomeGuides, mc.BSH, []int{1, 2}, true},
+		{plant.NoGuides, mc.DFS, []int{1}, true},
+		{plant.NoGuides, mc.BSH, []int{1}, true},
+	}
+	for _, c := range cells {
+		for _, n := range c.sizes {
+			b.Run(fmt.Sprintf("%sGuides/%v/batches=%d", c.g, c.order, n), func(b *testing.B) {
+				exploreOnce(b, n, c.g, c.order, c.found)
+			})
+		}
+	}
+}
+
+// BenchmarkTable2Schedule measures trace concretization plus projection to
+// the Table 2 command schedule.
+func BenchmarkTable2Schedule(b *testing.B) {
+	p, err := plant.Build(plant.Config{Qualities: plant.CycleQualities(2), Guides: plant.AllGuides})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := mc.DefaultOptions(mc.DFS)
+	opts.Priority = p.Priority
+	res, err := mc.Explore(p.Sys, p.Goal, opts)
+	if err != nil || !res.Found {
+		b.Fatalf("explore: %v found=%v", err, res.Found)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		steps, err := mc.Concretize(p.Sys, res.Trace)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := schedule.FromTrace(p, steps)
+		if len(s.Lines) == 0 {
+			b.Fatal("empty schedule")
+		}
+	}
+}
+
+// BenchmarkFig6Synthesis measures compiling a schedule into the RCX
+// control program of Figure 6.
+func BenchmarkFig6Synthesis(b *testing.B) {
+	res, err := core.Synthesize(
+		plant.Config{Qualities: plant.CycleQualities(2), Guides: plant.AllGuides},
+		mc.DefaultOptions(mc.DFS), synth.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		codec := synth.NewCodec(res.Schedule)
+		prog, err := synth.Program(res.Schedule, codec, synth.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(prog) == 0 {
+			b.Fatal("empty program")
+		}
+	}
+}
+
+// BenchmarkFig1Pipeline measures the full methodology end to end,
+// including execution in the simulated plant.
+func BenchmarkFig1Pipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := core.Synthesize(
+			plant.Config{Qualities: plant.CycleQualities(2), Guides: plant.AllGuides},
+			mc.DefaultOptions(mc.DFS), synth.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := res.Simulate(sim.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.OK(2) {
+			b.Fatalf("simulation failed: %v", rep.Violations)
+		}
+	}
+}
+
+// fischerSystem builds the Fischer benchmark used by the checker
+// ablations.
+func fischerSystem(b *testing.B, n int) (*ta.System, mc.Goal) {
+	b.Helper()
+	sys := ta.NewSystem("fischer")
+	sys.Table.DeclareVar("id", 0)
+	var cs []mc.LocRequirement
+	for pid := 1; pid <= n; pid++ {
+		x := sys.AddClock(fmt.Sprintf("x%d", pid))
+		a := sys.AddAutomaton(fmt.Sprintf("P%d", pid))
+		idle := a.AddLocation("idle", ta.Normal)
+		req := a.AddLocation("req", ta.Normal)
+		wait := a.AddLocation("wait", ta.Normal)
+		crit := a.AddLocation("cs", ta.Normal)
+		a.SetInvariant(req, ta.LE(x, 2))
+		a.SetInit(idle)
+		a.Edge(idle, req).Guard("id == 0").Reset(x).Done()
+		a.Edge(req, wait).Assign(fmt.Sprintf("id := %d", pid)).Reset(x).Done()
+		a.Edge(wait, crit).When(ta.GT(x, 2)).Guard(fmt.Sprintf("id == %d", pid)).Done()
+		a.Edge(wait, req).Guard("id == 0").Reset(x).Done()
+		a.Edge(crit, idle).Assign("id := 0").Done()
+		cs = append(cs, mc.LocRequirement{Automaton: pid - 1, Location: crit})
+	}
+	return sys, mc.Goal{Desc: "mutex violation", Locs: cs[:2]}
+}
+
+func benchFischer(b *testing.B, mutate func(*mc.Options)) {
+	var last mc.Result
+	for i := 0; i < b.N; i++ {
+		sys, goal := fischerSystem(b, 5)
+		opts := mc.DefaultOptions(mc.BFS)
+		mutate(&opts)
+		var err error
+		last, err = mc.Explore(sys, goal, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if last.Found {
+			b.Fatal("Fischer mutex broken")
+		}
+	}
+	b.ReportMetric(float64(last.Stats.StatesExplored), "states/op")
+}
+
+// Ablations of the checker's design choices (DESIGN.md section 4).
+
+func BenchmarkAblationInclusion(b *testing.B) {
+	b.Run("on", func(b *testing.B) { benchFischer(b, func(*mc.Options) {}) })
+	b.Run("off", func(b *testing.B) { benchFischer(b, func(o *mc.Options) { o.Inclusion = false }) })
+}
+
+func BenchmarkAblationActiveClocks(b *testing.B) {
+	b.Run("on", func(b *testing.B) { benchFischer(b, func(*mc.Options) {}) })
+	b.Run("off", func(b *testing.B) { benchFischer(b, func(o *mc.Options) { o.ActiveClocks = false }) })
+}
+
+func BenchmarkAblationLUvsClassic(b *testing.B) {
+	b.Run("lu", func(b *testing.B) { benchFischer(b, func(*mc.Options) {}) })
+	b.Run("classic", func(b *testing.B) {
+		benchFischer(b, func(o *mc.Options) { o.ClassicExtrapolation = true })
+	})
+}
+
+// BenchmarkAblationGuides isolates the paper's contribution at a fixed
+// instance: the same two-batch plant at each guide level.
+func BenchmarkAblationGuides(b *testing.B) {
+	b.Run("all", func(b *testing.B) { exploreOnce(b, 2, plant.AllGuides, mc.DFS, true) })
+	b.Run("some", func(b *testing.B) { exploreOnce(b, 2, plant.SomeGuides, mc.DFS, true) })
+	b.Run("none-1batch", func(b *testing.B) { exploreOnce(b, 1, plant.NoGuides, mc.DFS, true) })
+}
+
+// BenchmarkAblationBSHWidth sweeps the bit-state hash table size, the
+// tuning knob the paper calls "very tedious for large systems".
+func BenchmarkAblationBSHWidth(b *testing.B) {
+	for _, bits := range []int{14, 18, 22} {
+		b.Run(fmt.Sprintf("bits=%d", bits), func(b *testing.B) {
+			var last mc.Result
+			for i := 0; i < b.N; i++ {
+				p, err := plant.Build(plant.Config{Qualities: plant.CycleQualities(2), Guides: plant.AllGuides})
+				if err != nil {
+					b.Fatal(err)
+				}
+				opts := mc.DefaultOptions(mc.BSH)
+				opts.HashBits = bits
+				opts.Priority = p.Priority
+				last, err = mc.Explore(p.Sys, p.Goal, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(last.Stats.MemBytes)/(1<<20), "MB")
+			b.ReportMetric(boolMetric(last.Found), "found")
+		})
+	}
+}
+
+// BenchmarkMinTimeSearch exercises the paper's "more optimal programs"
+// future-work extension: best-first search on global time.
+func BenchmarkMinTimeSearch(b *testing.B) {
+	var last mc.Result
+	for i := 0; i < b.N; i++ {
+		p, err := plant.Build(plant.Config{Qualities: plant.CycleQualities(2), Guides: plant.AllGuides})
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts := mc.DefaultOptions(mc.BestTime)
+		opts.TimeClock = p.GlobalClock
+		opts.TimeHorizon = 200
+		opts.Priority = p.Priority
+		last, err = mc.Explore(p.Sys, p.Goal, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !last.Found {
+			b.Fatal("no schedule")
+		}
+	}
+	b.ReportMetric(float64(last.Stats.StatesExplored), "states/op")
+}
+
+func boolMetric(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,120 @@
+// Command guidedmc is a zone-based reachability checker for timed-automata
+// models written in the tadsl format — a miniature stand-in for the UPPAAL
+// verifier used in the paper.
+//
+// Usage:
+//
+//	guidedmc [flags] model.gta
+//
+// The model file must contain a `query exists ...` line (or pass none to
+// just validate and print the model).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"guidedta/internal/mc"
+	"guidedta/internal/tadsl"
+)
+
+func main() {
+	var (
+		search   = flag.String("search", "dfs", "search order: bfs, dfs, bsh, or besttime")
+		hashBits = flag.Int("hashbits", 22, "bit-state hash table size (2^n bits, bsh only)")
+		noIncl   = flag.Bool("no-inclusion", false, "disable zone inclusion checking")
+		noActive = flag.Bool("no-active", false, "disable (in-)active clock reduction")
+		trace    = flag.Bool("trace", false, "print the concretized diagnostic trace")
+		dump     = flag.Bool("dump", false, "pretty-print the parsed model and exit")
+		dot      = flag.String("dot", "", "write the named automaton as Graphviz DOT and exit")
+		maxState = flag.Int("max-states", 0, "abort after exploring this many states")
+		timeout  = flag.Duration("timeout", 0, "abort after this wall-clock duration")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: guidedmc [flags] model.gta")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	model, err := tadsl.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	if *dump {
+		model.Sys.WriteSystem(os.Stdout)
+		return
+	}
+	if *dot != "" {
+		for _, a := range model.Sys.Automata {
+			if a.Name == *dot {
+				model.Sys.WriteDot(os.Stdout, a)
+				return
+			}
+		}
+		fatal(fmt.Errorf("no automaton named %q", *dot))
+	}
+	if !model.HasQuery {
+		fmt.Println("model OK (no query)")
+		fmt.Println(model.Sys.Stats())
+		return
+	}
+
+	opts := mc.DefaultOptions(mc.DFS)
+	switch strings.ToLower(*search) {
+	case "bfs":
+		opts.Search = mc.BFS
+	case "dfs":
+		opts.Search = mc.DFS
+	case "bsh":
+		opts.Search = mc.BSH
+	case "besttime":
+		opts.Search = mc.BestTime
+	default:
+		fatal(fmt.Errorf("unknown search order %q", *search))
+	}
+	opts.HashBits = *hashBits
+	opts.Inclusion = !*noIncl
+	opts.ActiveClocks = !*noActive
+	opts.MaxStates = *maxState
+	opts.Timeout = *timeout
+
+	start := time.Now()
+	res, err := mc.Explore(model.Sys, model.Query, opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("query: %s\n", model.Query)
+	fmt.Printf("search: %s  model: %s\n", opts.Search, model.Sys.Stats())
+	fmt.Printf("result: ")
+	switch {
+	case res.Found:
+		fmt.Println("SATISFIED")
+	case res.Abort != mc.AbortNone:
+		fmt.Printf("UNDECIDED (%s)\n", res.Abort)
+	default:
+		fmt.Println("NOT satisfied")
+	}
+	fmt.Printf("stats: %v (wall %v)\n", res.Stats, time.Since(start).Round(time.Millisecond))
+
+	if res.Found && *trace {
+		steps, err := mc.Concretize(model.Sys, res.Trace)
+		if err != nil {
+			fatal(fmt.Errorf("concretizing trace: %w", err))
+		}
+		fmt.Println("trace:")
+		fmt.Print(mc.FormatTrace(model.Sys, steps))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "guidedmc:", err)
+	os.Exit(1)
+}

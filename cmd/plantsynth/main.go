@@ -1,0 +1,147 @@
+// Command plantsynth runs the paper's full methodology (Figure 1): build
+// the guided plant model for a production list, derive a schedule with the
+// model checker, and synthesize the distributed control program.
+//
+// Examples:
+//
+//	plantsynth -batches 2                     # schedule, Table 2 style
+//	plantsynth -qualities 1,2,3 -rcx          # synthesized RCX program
+//	plantsynth -batches 5 -guides some -stats # search effort only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"guidedta/internal/core"
+	"guidedta/internal/mc"
+	"guidedta/internal/plant"
+	"guidedta/internal/synth"
+	"guidedta/internal/tadsl"
+)
+
+func main() {
+	var (
+		batches   = flag.Int("batches", 2, "number of batches (production list cycles Q1,Q2,Q3)")
+		qualities = flag.String("qualities", "", "explicit production list, e.g. 1,2,3,4,5 (overrides -batches)")
+		guides    = flag.String("guides", "all", "guide level: none, some, all")
+		search    = flag.String("search", "dfs", "search order: bfs, dfs, bsh, besttime")
+		rcxOut    = flag.Bool("rcx", false, "print the synthesized RCX control program")
+		annotated = flag.Bool("annotated", false, "print the schedule with absolute timestamps")
+		gantt     = flag.Bool("gantt", false, "print an ASCII Gantt chart of the schedule")
+		statsOnly = flag.Bool("stats", false, "print search statistics only")
+		maxStates = flag.Int("max-states", 0, "abort after exploring this many states")
+		export    = flag.String("export", "", "write the built model in tadsl format to this file and exit")
+	)
+	flag.Parse()
+
+	cfg := plant.Config{Guides: parseGuides(*guides)}
+	if *qualities != "" {
+		for _, part := range strings.Split(*qualities, ",") {
+			q, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				fatal(fmt.Errorf("bad quality %q", part))
+			}
+			cfg.Qualities = append(cfg.Qualities, plant.Quality(q))
+		}
+	} else {
+		cfg.Qualities = plant.CycleQualities(*batches)
+	}
+
+	if *export != "" {
+		p, err := plant.Build(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(*export)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := tadsl.Write(f, p.Sys, &p.Goal); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%v); check it with: go run ./cmd/guidedmc %s\n",
+			*export, p.Sys.Stats(), *export)
+		return
+	}
+
+	opts := mc.DefaultOptions(parseSearch(*search))
+	opts.MaxStates = *maxStates
+	if opts.Search == mc.BestTime {
+		p, err := plant.Build(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		opts.TimeClock = p.GlobalClock
+		opts.TimeHorizon = cfg.Params.Deadline * int32(len(cfg.Qualities)+2)
+		if cfg.Params == (plant.Params{}) {
+			opts.TimeHorizon = plant.DefaultParams().Deadline * int32(len(cfg.Qualities)+2)
+		}
+	}
+
+	res, err := core.Synthesize(cfg, opts, synth.Options{})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("model: %v\n", res.Plant.Sys.Stats())
+	fmt.Printf("search: %s, %v\n", opts.Search, res.Search.Stats)
+	if *statsOnly {
+		return
+	}
+	fmt.Printf("\nschedule (%d commands, horizon %s):\n",
+		len(res.Schedule.Lines), mc.TimeString(res.Schedule.Horizon))
+	if *annotated {
+		fmt.Print(res.Schedule.FormatAnnotated())
+	} else {
+		fmt.Print(res.Schedule.Format())
+	}
+	if *gantt {
+		fmt.Println()
+		fmt.Print(res.Schedule.Gantt(2))
+	}
+	if *rcxOut {
+		fmt.Printf("\nsynthesized central control program (%d instructions, %d command codes):\n\n",
+			len(res.Program), res.Codec.NumCommands())
+		fmt.Print(res.Program.String())
+	}
+}
+
+func parseGuides(s string) plant.GuideLevel {
+	switch strings.ToLower(s) {
+	case "none":
+		return plant.NoGuides
+	case "some":
+		return plant.SomeGuides
+	case "all":
+		return plant.AllGuides
+	default:
+		fatal(fmt.Errorf("unknown guide level %q", s))
+		return 0
+	}
+}
+
+func parseSearch(s string) mc.SearchOrder {
+	switch strings.ToLower(s) {
+	case "bfs":
+		return mc.BFS
+	case "dfs":
+		return mc.DFS
+	case "bsh":
+		return mc.BSH
+	case "besttime":
+		return mc.BestTime
+	default:
+		fatal(fmt.Errorf("unknown search order %q", s))
+		return 0
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "plantsynth:", err)
+	os.Exit(1)
+}

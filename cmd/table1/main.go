@@ -1,0 +1,139 @@
+// Command table1 regenerates the paper's Table 1: the time and space
+// UPPAAL needs to generate schedules, per number of batches, for the three
+// guide levels (All, Some, None) and three search strategies (BFS, DFS,
+// DFS + bit-state hashing). Cells that exhaust the memory budget or the
+// time budget print "-", like the paper's dashes (256 MB / two hours on
+// their 1999 hardware; both budgets are flags here).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"guidedta/internal/mc"
+	"guidedta/internal/plant"
+)
+
+func main() {
+	var (
+		batchList = flag.String("batches", "1,2,3,5,7,10,15,20,25,30,35,60", "batch counts (rows)")
+		memMB     = flag.Int64("memory", 2048, "per-cell memory budget in MB")
+		timeout   = flag.Duration("timeout", 0, "per-cell wall-clock budget (0 = none)")
+		maxStates = flag.Int("max-states", 3_000_000, "per-cell explored-state budget (0 = none)")
+		hashBits  = flag.Int("hashbits", 23, "bit-state hash table size (2^n bits)")
+		csv       = flag.Bool("csv", false, "emit CSV instead of the formatted table")
+	)
+	flag.Parse()
+
+	var rows []int
+	for _, part := range strings.Split(*batchList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "table1: bad batch count %q\n", part)
+			os.Exit(2)
+		}
+		rows = append(rows, n)
+	}
+
+	guides := []plant.GuideLevel{plant.AllGuides, plant.SomeGuides, plant.NoGuides}
+	searches := []mc.SearchOrder{mc.BFS, mc.DFS, mc.BSH}
+
+	if *csv {
+		fmt.Println("batches,guides,search,found,seconds,MB,explored,stored")
+	} else {
+		fmt.Println("Time (sec) and space (MB) for generating schedules")
+		fmt.Printf("%-4s |", "#")
+		for _, g := range guides {
+			fmt.Printf(" %-29s |", titleCase(g.String())+" Guides")
+		}
+		fmt.Println()
+		fmt.Printf("%-4s |", "")
+		for range guides {
+			for _, s := range searches {
+				fmt.Printf(" %-9s", s)
+			}
+			fmt.Print("|")
+		}
+		fmt.Println()
+	}
+
+	// Once a (guides, search) column fails, larger instances will too;
+	// skip them like the paper's dashes.
+	dead := make(map[string]bool)
+	for _, n := range rows {
+		if !*csv {
+			fmt.Printf("%-4d |", n)
+		}
+		for _, g := range guides {
+			for _, s := range searches {
+				col := fmt.Sprintf("%v-%v", g, s)
+				if dead[col] {
+					emit(*csv, n, g, s, nil)
+					continue
+				}
+				res := run(n, g, s, *memMB, *timeout, *maxStates, *hashBits)
+				if !res.Found {
+					dead[col] = true
+					emit(*csv, n, g, s, nil)
+					continue
+				}
+				emit(*csv, n, g, s, res)
+			}
+			if !*csv {
+				fmt.Print("|")
+			}
+		}
+		if !*csv {
+			fmt.Println()
+		}
+	}
+}
+
+func run(n int, g plant.GuideLevel, s mc.SearchOrder, memMB int64, timeout time.Duration, maxStates, hashBits int) *mc.Result {
+	p, err := plant.Build(plant.Config{Qualities: plant.CycleQualities(n), Guides: g})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "table1:", err)
+		os.Exit(1)
+	}
+	opts := mc.DefaultOptions(s)
+	opts.MaxMemory = memMB << 20
+	opts.MaxStates = maxStates
+	opts.HashBits = hashBits
+	opts.Timeout = timeout
+	opts.Priority = p.Priority
+	res, err := mc.Explore(p.Sys, p.Goal, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "table1:", err)
+		os.Exit(1)
+	}
+	return &res
+}
+
+func titleCase(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
+}
+
+func emit(csv bool, n int, g plant.GuideLevel, s mc.SearchOrder, res *mc.Result) {
+	if csv {
+		if res == nil {
+			fmt.Printf("%d,%v,%v,false,,,,\n", n, g, s)
+			return
+		}
+		fmt.Printf("%d,%v,%v,true,%.2f,%.1f,%d,%d\n", n, g, s,
+			res.Stats.Duration.Seconds(), float64(res.Stats.MemBytes)/(1<<20),
+			res.Stats.StatesExplored, res.Stats.StatesStored)
+		return
+	}
+	if res == nil {
+		fmt.Printf(" %-9s", "-")
+		return
+	}
+	fmt.Printf(" %4.1f/%-4.0f", res.Stats.Duration.Seconds(), float64(res.Stats.MemBytes)/(1<<20))
+}

@@ -1,0 +1,24 @@
+// Package guidedta reproduces "Guided Synthesis of Control Programs Using
+// UPPAAL" (Hune, Larsen, Pettersson; ICDCS 2000): scheduling a batch steel
+// plant by zone-based reachability analysis of timed automata, making the
+// search feasible by guiding the model with auxiliary variables and guards,
+// and compiling the resulting diagnostic traces into distributed control
+// programs that run on (a simulation of) the LEGO MINDSTORMS plant.
+//
+// The library lives under internal/:
+//
+//	internal/dbm      difference-bound matrices (zones)
+//	internal/expr     the integer guard/assignment expression language
+//	internal/ta       timed-automata networks
+//	internal/mc       the model checker (BFS/DFS/bit-state hashing/min-time)
+//	internal/plant    the SIDMAR batch plant model and its guides
+//	internal/schedule trace-to-schedule projection (Table 2)
+//	internal/rcx      RCX byte code and interpreter
+//	internal/synth    schedule-to-control-program synthesis (Figure 6)
+//	internal/sim      the simulated LEGO plant (Section 6)
+//	internal/tadsl    a textual model format for the guidedmc tool
+//	internal/core     the end-to-end pipeline facade (Figure 1)
+//
+// The benchmarks in bench_test.go regenerate every table and figure of the
+// paper's evaluation; see EXPERIMENTS.md for the measured results.
+package guidedta

@@ -1,0 +1,66 @@
+// Batchplant runs the paper's entire methodology end to end (its
+// Figure 1): build the guided SIDMAR plant model for a production list,
+// derive a schedule by model checking, project it onto plant commands
+// (Table 2), synthesize the distributed RCX control program (Figure 6),
+// and execute it in the simulated LEGO plant over a lossy infrared link.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"guidedta/internal/core"
+	"guidedta/internal/mc"
+	"guidedta/internal/plant"
+	"guidedta/internal/sim"
+	"guidedta/internal/synth"
+)
+
+func main() {
+	batches := flag.Int("batches", 3, "number of batches (production list cycles Q1,Q2,Q3)")
+	loss := flag.Float64("loss", 0.05, "IR message loss probability")
+	flag.Parse()
+
+	fmt.Println(plant.Layout())
+	fmt.Println()
+
+	cfg := plant.Config{
+		Qualities: plant.CycleQualities(*batches),
+		Guides:    plant.AllGuides,
+	}
+	fmt.Printf("production list: %v, %s guides\n", cfg.Qualities, cfg.Guides)
+
+	opts := mc.DefaultOptions(mc.DFS)
+	res, err := core.Synthesize(cfg, opts, synth.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model: %v\n", res.Plant.Sys.Stats())
+	fmt.Printf("search: %v\n\n", res.Search.Stats)
+
+	fmt.Printf("schedule (%d commands):\n", len(res.Schedule.Lines))
+	fmt.Print(res.Schedule.Format())
+
+	fmt.Printf("\nsynthesized program: %d RCX instructions over %d command codes\n",
+		len(res.Program), res.Codec.NumCommands())
+	fmt.Println("first command block:")
+	for _, in := range res.Program[:15] {
+		fmt.Printf("  %s\n", in)
+	}
+
+	fmt.Printf("\nexecuting in the simulated plant (loss %.0f%%)...\n", *loss*100)
+	rep, err := res.Simulate(sim.Config{LossProb: *loss, Seed: 7, ContinuitySlack: 6})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %d/%d ladles stored, cast order %v\n", rep.Stored, *batches, rep.CastOrder)
+	fmt.Printf("  %d messages sent, %d lost and retried\n", rep.MessagesSent, rep.MessagesLost)
+	if len(rep.Violations) == 0 {
+		fmt.Println("  no safety violations — the synthesized program controls the plant correctly")
+	} else {
+		for _, v := range rep.Violations {
+			fmt.Printf("  VIOLATION %v\n", v)
+		}
+	}
+}

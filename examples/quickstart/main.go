@@ -1,0 +1,56 @@
+// Quickstart: build a small timed automaton, ask a reachability question,
+// and read back a timestamped diagnostic trace — the minimal round trip
+// through the library's model checker.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"guidedta/internal/expr"
+	"guidedta/internal/mc"
+	"guidedta/internal/ta"
+)
+
+func main() {
+	// A worker that must rest at least 2 time units between jobs, with
+	// each job taking exactly 3.
+	sys := ta.NewSystem("worker")
+	x := sys.AddClock("x")
+	sys.Table.DeclareVar("jobs", 0)
+
+	w := sys.AddAutomaton("Worker")
+	rest := w.AddLocation("rest", ta.Normal)
+	work := w.AddLocation("work", ta.Normal)
+	w.SetInvariant(work, ta.LE(x, 3))
+	w.SetInit(rest)
+	w.Edge(rest, work).When(ta.GE(x, 2)).Reset(x).Done()
+	w.Edge(work, rest).When(ta.EQ(x, 3)...).Assign("jobs := jobs + 1").Reset(x).Done()
+
+	// Can the worker finish 3 jobs?
+	goal := mc.Goal{
+		Desc: "three jobs done",
+		Expr: expr.MustParse("jobs == 3", sys.Table),
+	}
+
+	res, err := mc.Explore(sys, goal, mc.DefaultOptions(mc.BFS))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query: %s\nreachable: %v (%v)\n\n", goal, res.Found, res.Stats)
+
+	steps, err := mc.Concretize(sys, res.Trace)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("earliest schedule:")
+	fmt.Print(mc.FormatTrace(sys, steps))
+
+	last := steps[len(steps)-1].Time
+	fmt.Printf("\nthird job done at t=%s", mc.TimeString(last))
+	if last <= 16*mc.Half {
+		fmt.Println(" — within a 16-unit deadline")
+	} else {
+		fmt.Println(" — misses a 16-unit deadline")
+	}
+}

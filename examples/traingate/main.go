@@ -1,0 +1,78 @@
+// Train-gate crossing, written in the tadsl model language (the format the
+// guidedmc command reads): trains approach a crossing guarded by a gate;
+// safety means no train is in the crossing while the gate is up. The
+// example checks safety of a correct gate controller and exhibits the
+// accident trace of a gate that reacts too slowly.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"guidedta/internal/mc"
+	"guidedta/internal/tadsl"
+)
+
+// model parameterizes the gate's closing time: closing within 3 time units
+// is safe (trains take at least 5 from approach to crossing); 7 is too
+// slow.
+const model = `
+system traingate
+
+int gateup 1
+clock xt xg
+chan appr leave
+
+automaton Train {
+    init loc far
+    loc near { inv xt <= 10 }
+    loc crossing { inv xt <= 15 }
+    far -> near { guard xt >= 2; sync appr!; do xt := 0 }
+    near -> crossing { guard xt >= 5 }
+    crossing -> far { guard xt >= 12; sync leave!; do xt := 0 }
+}
+
+automaton Gate {
+    init loc up
+    loc lowering { inv xg <= %d }
+    loc down
+    loc raising { inv xg <= 2 }
+    up -> lowering { sync appr?; do xg := 0 }
+    lowering -> down { guard xg >= %d; do gateup := 0 }
+    down -> raising { sync leave?; do xg := 0 }
+    raising -> up { guard xg >= 1; do gateup := 1 }
+}
+
+query exists Train.crossing && gateup == 1
+`
+
+func check(closeBy int) {
+	src := fmt.Sprintf(model, closeBy, closeBy)
+	m, err := tadsl.Parse(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := mc.Explore(m.Sys, m.Query, mc.DefaultOptions(mc.BFS))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("gate closes within %d time units: ", closeBy)
+	if !res.Found {
+		fmt.Printf("SAFE (%v)\n", res.Stats)
+		return
+	}
+	fmt.Printf("UNSAFE — train can enter under an open gate (%v)\n", res.Stats)
+	steps, err := mc.Concretize(m.Sys, res.Trace)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("  accident trace:")
+	for _, s := range steps {
+		fmt.Printf("    @%s %s\n", mc.TimeString(s.Time), s.Trans.Format(m.Sys))
+	}
+}
+
+func main() {
+	check(3) // responsive gate: safe
+	check(7) // sluggish gate: the train beats it into the crossing
+}

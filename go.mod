@@ -1,0 +1,3 @@
+module guidedta
+
+go 1.22

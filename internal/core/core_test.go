@@ -1,0 +1,64 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"guidedta/internal/mc"
+	"guidedta/internal/plant"
+	"guidedta/internal/sim"
+	"guidedta/internal/synth"
+)
+
+func TestSynthesizeEndToEnd(t *testing.T) {
+	cfg := plant.Config{
+		Qualities: []plant.Quality{plant.Q1, plant.Q3},
+		Guides:    plant.AllGuides,
+	}
+	res, err := Synthesize(cfg, mc.DefaultOptions(mc.DFS), synth.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Search.Found || len(res.Steps) == 0 || len(res.Schedule.Lines) == 0 || len(res.Program) == 0 {
+		t.Fatalf("incomplete result: found=%v steps=%d lines=%d prog=%d",
+			res.Search.Found, len(res.Steps), len(res.Schedule.Lines), len(res.Program))
+	}
+	rep, err := res.Simulate(sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK(2) {
+		t.Errorf("simulation: stored=%d violations=%v", rep.Stored, rep.Violations)
+	}
+}
+
+func TestSynthesizeReportsInfeasible(t *testing.T) {
+	// A deadline too short for even one batch: no schedule exists, and the
+	// error says so rather than claiming an abort.
+	pm := plant.DefaultParams()
+	pm.Deadline = 3
+	cfg := plant.Config{Qualities: []plant.Quality{plant.Q1}, Guides: plant.AllGuides, Params: pm}
+	_, err := Synthesize(cfg, mc.DefaultOptions(mc.DFS), synth.Options{})
+	if err == nil {
+		t.Fatal("impossible deadline produced a schedule")
+	}
+	if !strings.Contains(err.Error(), "no feasible schedule") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestSynthesizeReportsAbort(t *testing.T) {
+	opts := mc.DefaultOptions(mc.DFS)
+	opts.MaxStates = 10
+	cfg := plant.Config{Qualities: plant.CycleQualities(2), Guides: plant.NoGuides}
+	_, err := Synthesize(cfg, opts, synth.Options{})
+	if err == nil || !strings.Contains(err.Error(), "aborted") {
+		t.Errorf("expected abort error, got %v", err)
+	}
+}
+
+func TestSynthesizeBadConfig(t *testing.T) {
+	if _, err := Synthesize(plant.Config{}, mc.DefaultOptions(mc.DFS), synth.Options{}); err == nil {
+		t.Error("empty config accepted")
+	}
+}

@@ -1,0 +1,171 @@
+package dbm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBoundEncoding(t *testing.T) {
+	tests := []struct {
+		name  string
+		b     Bound
+		value int32
+		weak  bool
+	}{
+		{"LE5", LE(5), 5, true},
+		{"LT5", LT(5), 5, false},
+		{"LEZero", LE(0), 0, true},
+		{"LTZero", LT(0), 0, false},
+		{"LENeg", LE(-7), -7, true},
+		{"LTNeg", LT(-7), -7, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.b.Value(); got != tt.value {
+				t.Errorf("Value() = %d, want %d", got, tt.value)
+			}
+			if got := tt.b.IsWeak(); got != tt.weak {
+				t.Errorf("IsWeak() = %v, want %v", got, tt.weak)
+			}
+		})
+	}
+}
+
+func TestBoundConstants(t *testing.T) {
+	if LEZero != LE(0) {
+		t.Errorf("LEZero = %v, want LE(0)", LEZero)
+	}
+	if LTZero != LT(0) {
+		t.Errorf("LTZero = %v, want LT(0)", LTZero)
+	}
+}
+
+func TestBoundOrdering(t *testing.T) {
+	// Raw integer comparison must coincide with bound tightness.
+	ordered := []Bound{LT(-3), LE(-3), LT(0), LE(0), LT(1), LE(1), LT(100), LE(100), Infinity}
+	for i := 0; i < len(ordered)-1; i++ {
+		if ordered[i] >= ordered[i+1] {
+			t.Errorf("expected %v < %v", ordered[i], ordered[i+1])
+		}
+	}
+}
+
+func TestBoundAdd(t *testing.T) {
+	tests := []struct {
+		a, b, want Bound
+	}{
+		{LE(3), LE(4), LE(7)},
+		{LE(3), LT(4), LT(7)},
+		{LT(3), LT(4), LT(7)},
+		{LE(-3), LE(4), LE(1)},
+		{Infinity, LE(4), Infinity},
+		{LE(4), Infinity, Infinity},
+		{Infinity, Infinity, Infinity},
+		{LT(0), LE(0), LT(0)},
+	}
+	for _, tt := range tests {
+		if got := Add(tt.a, tt.b); got != tt.want {
+			t.Errorf("Add(%v,%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestBoundNegate(t *testing.T) {
+	tests := []struct {
+		in, want Bound
+	}{
+		{LE(5), LT(-5)},
+		{LT(5), LE(-5)},
+		{LE(0), LT(0)},
+		{LE(-2), LT(2)},
+	}
+	for _, tt := range tests {
+		if got := tt.in.Negate(); got != tt.want {
+			t.Errorf("Negate(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestBoundNegateInvolution(t *testing.T) {
+	f := func(c int16, weak bool) bool {
+		var b Bound
+		if weak {
+			b = LE(int32(c))
+		} else {
+			b = LT(int32(c))
+		}
+		return b.Negate().Negate() == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoundSatisfiedBy(t *testing.T) {
+	tests := []struct {
+		b    Bound
+		d    int64
+		want bool
+	}{
+		{LE(5), 5, true},
+		{LE(5), 6, false},
+		{LT(5), 5, false},
+		{LT(5), 4, true},
+		{Infinity, 1 << 40, true},
+		{LE(-3), -3, true},
+		{LE(-3), -2, false},
+	}
+	for _, tt := range tests {
+		if got := tt.b.SatisfiedBy(tt.d); got != tt.want {
+			t.Errorf("%v.SatisfiedBy(%d) = %v, want %v", tt.b, tt.d, got, tt.want)
+		}
+	}
+}
+
+// Property: Add is associative and commutative, with LEZero as identity.
+func TestBoundAddAlgebra(t *testing.T) {
+	mk := func(c int8, weak bool) Bound {
+		if weak {
+			return LE(int32(c))
+		}
+		return LT(int32(c))
+	}
+	comm := func(a, b int8, wa, wb bool) bool {
+		x, y := mk(a, wa), mk(b, wb)
+		return Add(x, y) == Add(y, x)
+	}
+	if err := quick.Check(comm, nil); err != nil {
+		t.Errorf("commutativity: %v", err)
+	}
+	assoc := func(a, b, c int8, wa, wb, wc bool) bool {
+		x, y, z := mk(a, wa), mk(b, wb), mk(c, wc)
+		return Add(Add(x, y), z) == Add(x, Add(y, z))
+	}
+	if err := quick.Check(assoc, nil); err != nil {
+		t.Errorf("associativity: %v", err)
+	}
+	ident := func(a int8, wa bool) bool {
+		x := mk(a, wa)
+		return Add(x, LEZero) == x
+	}
+	if err := quick.Check(ident, nil); err != nil {
+		t.Errorf("identity: %v", err)
+	}
+}
+
+func TestBoundString(t *testing.T) {
+	tests := []struct {
+		b    Bound
+		want string
+	}{
+		{LE(5), "<=5"},
+		{LT(5), "<5"},
+		{Infinity, "<inf"},
+		{LE(-2), "<=-2"},
+	}
+	for _, tt := range tests {
+		if got := tt.b.String(); got != tt.want {
+			t.Errorf("String(%d) = %q, want %q", int32(tt.b), got, tt.want)
+		}
+	}
+}

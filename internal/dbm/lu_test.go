@@ -1,0 +1,121 @@
+package dbm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestExtrapolateLUUpperOnlyClockLosesRows(t *testing.T) {
+	// A clock with only upper-bound guards (L = -1) carries no useful
+	// difference information: its rows must be widened to infinity, the
+	// property that makes LU so effective on deadline clocks.
+	d := Zero(3)
+	d.Up()
+	d.Constrain(1, 0, LE(50)) // x1 <= 50 (deadline-style)
+	d.Reset(2, 0)
+	d.Up()
+	d.Constrain(2, 0, LE(3))
+	if !d.ExtrapolateLU([]int32{0, -1, 3}, []int32{0, 90, 3}) {
+		t.Fatal("emptied")
+	}
+	for j := 0; j < 3; j++ {
+		if j != 1 && d.At(1, j) != Infinity {
+			t.Errorf("At(1,%d) = %v, want inf (clock 1 has no lower guards)", j, d.At(1, j))
+		}
+	}
+	if !isCanonical(d) {
+		t.Error("result must be canonical")
+	}
+}
+
+func TestExtrapolateLUKeepsLowInformation(t *testing.T) {
+	// Below both bounds, LU extrapolation changes nothing.
+	d := Zero(3)
+	d.Up()
+	d.Constrain(1, 0, LE(4))
+	d.Constrain(0, 1, LE(-2)) // 2 <= x1 <= 4
+	e := d.Clone()
+	if !e.ExtrapolateLU([]int32{0, 10, 10}, []int32{0, 10, 10}) {
+		t.Fatal("emptied")
+	}
+	if !e.Equal(d) {
+		t.Errorf("low zone changed:\nbefore %s\nafter  %s", d, e)
+	}
+}
+
+func TestExtrapolateLUAboveLowerBound(t *testing.T) {
+	// Once a clock's zone lower bound exceeds L, its exact value no longer
+	// matters for any future lower-bound guard: upper constraints vanish.
+	d := Zero(2)
+	d.Up()
+	d.Constrain(0, 1, LE(-8)) // x1 >= 8
+	d.Constrain(1, 0, LE(9))  // x1 <= 9
+	if !d.ExtrapolateLU([]int32{0, 5}, []int32{0, 20}) {
+		t.Fatal("emptied")
+	}
+	if d.At(1, 0) != Infinity {
+		t.Errorf("upper bound should be dropped above L=5, got %v", d.At(1, 0))
+	}
+	if !d.Contains([]int64{0, 100}) {
+		t.Error("widened zone should contain x1=100")
+	}
+	if d.Contains([]int64{0, 5}) {
+		t.Error("zone must still exclude x1=5 (lower bound within L)")
+	}
+}
+
+// Property: Extra-LU+ only grows zones, preserves canonicity, and is
+// idempotent.
+func TestExtrapolateLUProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 2000; trial++ {
+		d := randomZone(rng, 3)
+		lower := []int32{0, int32(rng.Intn(12) - 1), int32(rng.Intn(12) - 1)}
+		upper := []int32{0, int32(rng.Intn(12) - 1), int32(rng.Intn(12) - 1)}
+		e := d.Clone()
+		if !e.ExtrapolateLU(lower, upper) {
+			t.Fatalf("trial %d: emptied", trial)
+		}
+		if !e.Includes(d) {
+			t.Fatalf("trial %d: LU result does not include original\nL=%v U=%v\nbefore %s\nafter  %s",
+				trial, lower, upper, d, e)
+		}
+		if !isCanonical(e) {
+			t.Fatalf("trial %d: not canonical", trial)
+		}
+		f := e.Clone()
+		if !f.ExtrapolateLU(lower, upper) {
+			t.Fatalf("trial %d: second application emptied", trial)
+		}
+		if !f.Equal(e) {
+			t.Fatalf("trial %d: not idempotent", trial)
+		}
+	}
+}
+
+// Property: LU is at least as coarse as max-bound extrapolation with
+// max = max(L, U) pointwise.
+func TestExtrapolateLUCoarserThanMaxBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 1000; trial++ {
+		d := randomZone(rng, 3)
+		lower := []int32{0, int32(rng.Intn(10) - 1), int32(rng.Intn(10) - 1)}
+		upper := []int32{0, int32(rng.Intn(10) - 1), int32(rng.Intn(10) - 1)}
+		max := make([]int32, 3)
+		for i := range max {
+			max[i] = lower[i]
+			if upper[i] > max[i] {
+				max[i] = upper[i]
+			}
+		}
+		lu := d.Clone()
+		mb := d.Clone()
+		if !lu.ExtrapolateLU(lower, upper) || !mb.ExtrapolateMaxBounds(max) {
+			t.Fatal("emptied")
+		}
+		if !lu.Includes(mb) {
+			t.Fatalf("trial %d: LU (L=%v U=%v) not coarser than max-bounds %v\nlu %s\nmb %s",
+				trial, lower, upper, max, lu, mb)
+		}
+	}
+}

@@ -1,0 +1,293 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+)
+
+func testTable(t *testing.T) *Table {
+	t.Helper()
+	tab := &Table{}
+	tab.DeclareVar("a", 2)
+	tab.DeclareVar("b", 5)
+	tab.DeclareVar("next", 0)
+	tab.DeclareArray("posi", 6)
+	tab.DeclareArray("posii", 7, 1, 1)
+	tab.DefineConst("m1", 1)
+	tab.DefineConst("m4", 4)
+	return tab
+}
+
+func eval(t *testing.T, tab *Table, src string) int32 {
+	t.Helper()
+	e, err := Parse(src, tab)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return e.Eval(tab.NewEnv())
+}
+
+func TestEvalArithmetic(t *testing.T) {
+	tab := testTable(t)
+	tests := []struct {
+		src  string
+		want int32
+	}{
+		{"1+2*3", 7},
+		{"(1+2)*3", 9},
+		{"10-3-2", 5},
+		{"7/2", 3},
+		{"7%3", 1},
+		{"-5", -5},
+		{"-(2+3)", -5},
+		{"a+b", 7},
+		{"a*b-1", 9},
+		{"m1+m4", 5},
+	}
+	for _, tt := range tests {
+		if got := eval(t, tab, tt.src); got != tt.want {
+			t.Errorf("%q = %d, want %d", tt.src, got, tt.want)
+		}
+	}
+}
+
+func TestEvalComparisonsAndLogic(t *testing.T) {
+	tab := testTable(t)
+	tests := []struct {
+		src  string
+		want int32
+	}{
+		{"a == 2", 1},
+		{"a != 2", 0},
+		{"a < b", 1},
+		{"a <= 2", 1},
+		{"a > b", 0},
+		{"b >= 5", 1},
+		{"a == 2 && b == 5", 1},
+		{"a == 1 || b == 5", 1},
+		{"a == 1 && b == 5", 0},
+		{"!(a == 2)", 0},
+		{"!0", 1},
+		{"a == 2 ? 10 : 20", 10},
+		{"a == 1 ? 10 : 20", 20},
+		{"a < b ? m1 : m4", 1},
+	}
+	for _, tt := range tests {
+		if got := eval(t, tab, tt.src); got != tt.want {
+			t.Errorf("%q = %d, want %d", tt.src, got, tt.want)
+		}
+	}
+}
+
+func TestEvalArrays(t *testing.T) {
+	tab := testTable(t)
+	tests := []struct {
+		src  string
+		want int32
+	}{
+		{"posi[0]", 0},
+		{"posii[0]", 1},
+		{"posii[1]+posii[2]", 1},
+		{"posi[a]", 0},    // computed index
+		{"posii[a-2]", 1}, // index 0
+		{"posii[1+1]", 0}, // index 2
+	}
+	for _, tt := range tests {
+		if got := eval(t, tab, tt.src); got != tt.want {
+			t.Errorf("%q = %d, want %d", tt.src, got, tt.want)
+		}
+	}
+}
+
+func TestGuideExpressionFromPaper(t *testing.T) {
+	// The first-machine choice guide from Section 4 of the paper.
+	tab := testTable(t)
+	src := "next := (posi[0]+posi[1]+posi[2]+posi[3]+posi[4]+posi[5] <= posii[0]+posii[1]+posii[2]+posii[3]+posii[4]+posii[5]+posii[6] ? m1 : m4)"
+	as, err := ParseAssignList(src, tab)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	env := tab.NewEnv()
+	ExecAll(as, env)
+	next, _ := tab.LookupVar("next")
+	// Track 1 is empty (sum 0), track 2 has two batches (sum 2): pick m1.
+	if env[next.Off] != 1 {
+		t.Errorf("guide chose %d, want m1=1", env[next.Off])
+	}
+}
+
+func TestAssignments(t *testing.T) {
+	tab := testTable(t)
+	env := tab.NewEnv()
+	as := MustParseAssignList("posi[3] := 1, posi[5] := 0, a := a+1, b := posi[3]", tab)
+	ExecAll(as, env)
+	base, _, _ := tab.LookupArray("posi")
+	if env[base+3] != 1 {
+		t.Error("posi[3] not assigned")
+	}
+	av, _ := tab.LookupVar("a")
+	if env[av.Off] != 3 {
+		t.Errorf("a = %d, want 3", env[av.Off])
+	}
+	bv, _ := tab.LookupVar("b")
+	if env[bv.Off] != 1 {
+		t.Errorf("b = %d, want 1 (left-to-right ordering)", env[bv.Off])
+	}
+}
+
+func TestAssignComputedIndex(t *testing.T) {
+	tab := testTable(t)
+	env := tab.NewEnv()
+	a := MustParseAssignList("posi[a+1] := 9", tab)
+	ExecAll(a, env)
+	base, _, _ := tab.LookupArray("posi")
+	if env[base+3] != 9 {
+		t.Errorf("posi[3] = %d, want 9", env[base+3])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tab := testTable(t)
+	bad := []string{
+		"", "1 +", "(1", "a[0]", "posi", "posi[9", "unknown", "1 ? 2", "a := 1", // expression contexts
+		"1 2", "a ==", "? 1 : 2", "a @ b",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src, tab); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+	badAssign := []string{"1 := 2", "a = ", "posi := 1", "unknown := 1", "a := 1,", "a := 1 b := 2"}
+	for _, src := range badAssign {
+		if _, err := ParseAssignList(src, tab); err == nil {
+			t.Errorf("ParseAssignList(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	tab := testTable(t)
+	env := tab.NewEnv()
+	for _, src := range []string{"1/0", "1%0", "posi[6]", "posi[0-1]"} {
+		e := MustParse(src, tab)
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Errorf("%q: expected runtime panic", src)
+					return
+				}
+				if _, ok := r.(*RuntimeError); !ok {
+					t.Errorf("%q: panic value %T, want *RuntimeError", src, r)
+				}
+			}()
+			e.Eval(env)
+		}()
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	tab := testTable(t)
+	env := tab.NewEnv()
+	// The right operand would panic (division by zero) if evaluated.
+	e := MustParse("0 && 1/0", tab)
+	if got := e.Eval(env); got != 0 {
+		t.Errorf("short-circuit && = %d, want 0", got)
+	}
+	e = MustParse("1 || 1/0", tab)
+	if got := e.Eval(env); got != 1 {
+		t.Errorf("short-circuit || = %d, want 1", got)
+	}
+}
+
+// Round-trip: printing a parsed expression and re-parsing yields the same
+// value on the same env, and the same printed form (fixpoint).
+func TestPrintParseRoundTrip(t *testing.T) {
+	tab := testTable(t)
+	env := tab.NewEnv()
+	srcs := []string{
+		"1+2*3", "(1+2)*3", "a<b ? m1 : m4", "!(a==2) || posi[2]==0",
+		"posi[0]+posi[1] <= posii[0]+posii[1]",
+		"a-b+3*posii[a-2]", "-a", "a%3+b/2",
+		"(a<b ? 1 : 0) + (b<a ? 1 : 0)",
+	}
+	for _, src := range srcs {
+		e1 := MustParse(src, tab)
+		printed := e1.String()
+		e2, err := Parse(printed, tab)
+		if err != nil {
+			t.Fatalf("re-parse of %q (printed from %q): %v", printed, src, err)
+		}
+		if e1.Eval(env) != e2.Eval(env) {
+			t.Errorf("%q: value changed after round-trip via %q", src, printed)
+		}
+		if e2.String() != printed {
+			t.Errorf("%q: printing not a fixpoint: %q vs %q", src, printed, e2.String())
+		}
+	}
+}
+
+func TestTruthyNil(t *testing.T) {
+	if !Truthy(nil, nil) {
+		t.Error("nil guard must be trivially true")
+	}
+}
+
+func TestTableDuplicatePanics(t *testing.T) {
+	assertPanics := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	tab := &Table{}
+	tab.DeclareVar("x", 0)
+	tab.DefineConst("c", 1)
+	assertPanics("dup var", func() { tab.DeclareVar("x", 1) })
+	assertPanics("dup const", func() { tab.DefineConst("c", 2) })
+	assertPanics("var shadows const", func() { tab.DeclareVar("c", 0) })
+	assertPanics("const shadows var", func() { tab.DefineConst("x", 0) })
+	assertPanics("zero-size array", func() { tab.DeclareArray("z", 0) })
+}
+
+func TestTableNewEnvAndNames(t *testing.T) {
+	tab := testTable(t)
+	env := tab.NewEnv()
+	if len(env) != tab.Size() {
+		t.Fatalf("env size %d, want %d", len(env), tab.Size())
+	}
+	// posii was initialized 1,1,0,...
+	base, size, ok := tab.LookupArray("posii")
+	if !ok || size != 7 {
+		t.Fatal("posii lookup failed")
+	}
+	if env[base] != 1 || env[base+1] != 1 || env[base+2] != 0 {
+		t.Error("array initializers not applied")
+	}
+	if name, ok := tab.NameAt(base + 3); !ok || name != "posii[3]" {
+		t.Errorf("NameAt = %q, %v", name, ok)
+	}
+	if name, ok := tab.NameAt(0); !ok || name != "a" {
+		t.Errorf("NameAt(0) = %q, %v", name, ok)
+	}
+	if _, ok := tab.NameAt(999); ok {
+		t.Error("NameAt out of range should fail")
+	}
+	if got := strings.Join(tab.Names(), ","); got != "a,b,next,posi,posii" {
+		t.Errorf("Names = %s", got)
+	}
+	if got := strings.Join(tab.ConstNames(), ","); got != "m1,m4" {
+		t.Errorf("ConstNames = %s", got)
+	}
+}
+
+func TestFormatAssigns(t *testing.T) {
+	tab := testTable(t)
+	as := MustParseAssignList("posi[3] := 1, next := m1", tab)
+	got := FormatAssigns(as)
+	if got != "posi[3] := 1, next := m1" {
+		t.Errorf("FormatAssigns = %q", got)
+	}
+}

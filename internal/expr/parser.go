@@ -1,0 +1,427 @@
+package expr
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+)
+
+// Parse parses an integer expression against the symbol table. The grammar
+// (lowest to highest precedence):
+//
+//	cond   := or ('?' cond ':' cond)?
+//	or     := and ('||' and)*
+//	and    := cmp ('&&' cmp)*
+//	cmp    := sum (('=='|'!='|'<'|'<='|'>'|'>=') sum)?
+//	sum    := term (('+'|'-') term)*
+//	term   := unary (('*'|'/'|'%') unary)*
+//	unary  := ('!'|'-')* primary
+//	primary:= number | ident ('[' cond ']')? | '(' cond ')'
+func Parse(src string, t *Table) (Expr, error) {
+	p := &parser{src: src, table: t}
+	p.next()
+	e, err := p.cond()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tkEOF {
+		return nil, p.errf("unexpected %q after expression", p.tok.text)
+	}
+	return e, nil
+}
+
+// MustParse is Parse that panics on error; intended for statically known
+// model-construction strings.
+func MustParse(src string, t *Table) Expr {
+	e, err := Parse(src, t)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// ParseAssign parses a single assignment "lhs := rhs" (also accepting "="
+// as the assignment operator, as UPPAAL does).
+func ParseAssign(src string, t *Table) (Assign, error) {
+	p := &parser{src: src, table: t}
+	p.next()
+	a, err := p.assign()
+	if err != nil {
+		return Assign{}, err
+	}
+	if p.tok.kind != tkEOF {
+		return Assign{}, p.errf("unexpected %q after assignment", p.tok.text)
+	}
+	return a, nil
+}
+
+// ParseAssignList parses a comma-separated assignment list, e.g.
+// "posi[3] := 1, posi[5] := 0".
+func ParseAssignList(src string, t *Table) ([]Assign, error) {
+	p := &parser{src: src, table: t}
+	p.next()
+	if p.tok.kind == tkEOF {
+		return nil, nil
+	}
+	var out []Assign
+	for {
+		a, err := p.assign()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+		if p.tok.kind != tkComma {
+			break
+		}
+		p.next()
+	}
+	if p.tok.kind != tkEOF {
+		return nil, p.errf("unexpected %q in assignment list", p.tok.text)
+	}
+	return out, nil
+}
+
+// MustParseAssignList is ParseAssignList that panics on error.
+func MustParseAssignList(src string, t *Table) []Assign {
+	as, err := ParseAssignList(src, t)
+	if err != nil {
+		panic(err)
+	}
+	return as
+}
+
+type tokenKind int
+
+const (
+	tkEOF tokenKind = iota
+	tkNumber
+	tkIdent
+	tkOp     // one of the operator strings
+	tkLParen // (
+	tkRParen // )
+	tkLBrack // [
+	tkRBrack // ]
+	tkQuest  // ?
+	tkColon  // :
+	tkComma  // ,
+	tkAssign // := or =
+	tkBad    // unrecognized input
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+type parser struct {
+	src   string
+	pos   int
+	tok   token
+	table *Table
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("expr: parse %q at offset %d: %s", p.src, p.tok.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) next() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t' || p.src[p.pos] == '\n' || p.src[p.pos] == '\r') {
+		p.pos++
+	}
+	start := p.pos
+	if p.pos >= len(p.src) {
+		p.tok = token{kind: tkEOF, pos: start}
+		return
+	}
+	c := p.src[p.pos]
+	two := ""
+	if p.pos+1 < len(p.src) {
+		two = p.src[p.pos : p.pos+2]
+	}
+	switch {
+	case two == ":=":
+		p.pos += 2
+		p.tok = token{tkAssign, ":=", start}
+	case two == "==" || two == "!=" || two == "<=" || two == ">=" || two == "&&" || two == "||":
+		p.pos += 2
+		p.tok = token{tkOp, two, start}
+	case c == '(':
+		p.pos++
+		p.tok = token{tkLParen, "(", start}
+	case c == ')':
+		p.pos++
+		p.tok = token{tkRParen, ")", start}
+	case c == '[':
+		p.pos++
+		p.tok = token{tkLBrack, "[", start}
+	case c == ']':
+		p.pos++
+		p.tok = token{tkRBrack, "]", start}
+	case c == '?':
+		p.pos++
+		p.tok = token{tkQuest, "?", start}
+	case c == ':':
+		p.pos++
+		p.tok = token{tkColon, ":", start}
+	case c == ',':
+		p.pos++
+		p.tok = token{tkComma, ",", start}
+	case c == '=':
+		p.pos++
+		p.tok = token{tkAssign, "=", start}
+	case c == '+' || c == '-' || c == '*' || c == '/' || c == '%' || c == '<' || c == '>' || c == '!':
+		p.pos++
+		p.tok = token{tkOp, string(c), start}
+	case c >= '0' && c <= '9':
+		for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+			p.pos++
+		}
+		p.tok = token{tkNumber, p.src[start:p.pos], start}
+	case isIdentStart(rune(c)):
+		for p.pos < len(p.src) && isIdentPart(rune(p.src[p.pos])) {
+			p.pos++
+		}
+		p.tok = token{tkIdent, p.src[start:p.pos], start}
+	default:
+		p.pos++
+		p.tok = token{tkBad, string(c), start}
+	}
+}
+
+func isIdentStart(r rune) bool { return r == '_' || unicode.IsLetter(r) }
+func isIdentPart(r rune) bool  { return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r) }
+
+func (p *parser) assign() (Assign, error) {
+	if p.tok.kind != tkIdent {
+		return Assign{}, p.errf("assignment must start with an identifier, got %q", p.tok.text)
+	}
+	name := p.tok.text
+	p.next()
+	var lhs LValue
+	if p.tok.kind == tkLBrack {
+		base, size, ok := p.table.LookupArray(name)
+		if !ok {
+			return Assign{}, p.errf("unknown array %q", name)
+		}
+		p.next()
+		idx, err := p.cond()
+		if err != nil {
+			return Assign{}, err
+		}
+		if p.tok.kind != tkRBrack {
+			return Assign{}, p.errf("expected ], got %q", p.tok.text)
+		}
+		p.next()
+		lhs = Index{Base: base, Size: size, Idx: idx, Name: name}
+	} else {
+		v, ok := p.table.LookupVar(name)
+		if !ok {
+			return Assign{}, p.errf("unknown variable %q", name)
+		}
+		lhs = v
+	}
+	if p.tok.kind != tkAssign {
+		return Assign{}, p.errf("expected := in assignment, got %q", p.tok.text)
+	}
+	p.next()
+	rhs, err := p.cond()
+	if err != nil {
+		return Assign{}, err
+	}
+	return Assign{LHS: lhs, RHS: rhs}, nil
+}
+
+func (p *parser) cond() (Expr, error) {
+	c, err := p.or()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tkQuest {
+		return c, nil
+	}
+	p.next()
+	th, err := p.cond()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tkColon {
+		return nil, p.errf("expected : in conditional, got %q", p.tok.text)
+	}
+	p.next()
+	el, err := p.cond()
+	if err != nil {
+		return nil, err
+	}
+	return Cond{C: c, T: th, F: el}, nil
+}
+
+func (p *parser) or() (Expr, error) {
+	l, err := p.and()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tkOp && p.tok.text == "||" {
+		p.next()
+		r, err := p.and()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: OpOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) and() (Expr, error) {
+	l, err := p.cmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tkOp && p.tok.text == "&&" {
+		p.next()
+		r, err := p.cmp()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: OpAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+var cmpOps = map[string]Op{
+	"==": OpEq, "!=": OpNe, "<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe,
+}
+
+func (p *parser) cmp() (Expr, error) {
+	l, err := p.sum()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tkOp {
+		if op, ok := cmpOps[p.tok.text]; ok {
+			p.next()
+			r, err := p.sum()
+			if err != nil {
+				return nil, err
+			}
+			return Binary{Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) sum() (Expr, error) {
+	l, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tkOp && (p.tok.text == "+" || p.tok.text == "-") {
+		op := OpAdd
+		if p.tok.text == "-" {
+			op = OpSub
+		}
+		p.next()
+		r, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) term() (Expr, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tkOp && (p.tok.text == "*" || p.tok.text == "/" || p.tok.text == "%") {
+		var op Op
+		switch p.tok.text {
+		case "*":
+			op = OpMul
+		case "/":
+			op = OpDiv
+		default:
+			op = OpMod
+		}
+		p.next()
+		r, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) unary() (Expr, error) {
+	if p.tok.kind == tkOp && (p.tok.text == "!" || p.tok.text == "-") {
+		op := OpNot
+		if p.tok.text == "-" {
+			op = OpNeg
+		}
+		p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		// Constant-fold unary minus on literals so "-5" prints back as "-5".
+		if c, ok := x.(Const); ok && op == OpNeg && c.Name == "" {
+			return Const{Val: -c.Val}, nil
+		}
+		return Unary{Op: op, X: x}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	switch p.tok.kind {
+	case tkNumber:
+		v, err := strconv.ParseInt(p.tok.text, 10, 32)
+		if err != nil {
+			return nil, p.errf("bad number %q", p.tok.text)
+		}
+		p.next()
+		return Const{Val: int32(v)}, nil
+	case tkIdent:
+		name := p.tok.text
+		p.next()
+		if p.tok.kind == tkLBrack {
+			base, size, ok := p.table.LookupArray(name)
+			if !ok {
+				return nil, p.errf("unknown array %q", name)
+			}
+			p.next()
+			idx, err := p.cond()
+			if err != nil {
+				return nil, err
+			}
+			if p.tok.kind != tkRBrack {
+				return nil, p.errf("expected ], got %q", p.tok.text)
+			}
+			p.next()
+			return Index{Base: base, Size: size, Idx: idx, Name: name}, nil
+		}
+		if v, ok := p.table.LookupVar(name); ok {
+			return v, nil
+		}
+		if c, ok := p.table.LookupConst(name); ok {
+			return Const{Val: c, Name: name}, nil
+		}
+		return nil, p.errf("unknown identifier %q", name)
+	case tkLParen:
+		p.next()
+		e, err := p.cond()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tkRParen {
+			return nil, p.errf("expected ), got %q", p.tok.text)
+		}
+		p.next()
+		return e, nil
+	default:
+		return nil, p.errf("unexpected token %q", p.tok.text)
+	}
+}

@@ -1,0 +1,149 @@
+package expr
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Table is a symbol table mapping variable names to cells of the flat
+// int32 store, plus named compile-time constants. The zero value is ready
+// to use.
+type Table struct {
+	entries []entry
+	byName  map[string]int
+	consts  map[string]int32
+	size    int
+}
+
+type entry struct {
+	name  string
+	off   int
+	size  int
+	isArr bool
+	init  []int32
+}
+
+func (t *Table) ensure() {
+	if t.byName == nil {
+		t.byName = make(map[string]int)
+		t.consts = make(map[string]int32)
+	}
+}
+
+// DeclareVar declares a scalar int variable with the given initial value
+// and returns its store offset.
+func (t *Table) DeclareVar(name string, init int32) int {
+	return t.declare(name, 1, false, []int32{init})
+}
+
+// DeclareArray declares an int array of n cells initialized to inits
+// (padded with zeros) and returns its base offset.
+func (t *Table) DeclareArray(name string, n int, inits ...int32) int {
+	if n < 1 {
+		panic(fmt.Sprintf("expr: array %q must have positive size", name))
+	}
+	buf := make([]int32, n)
+	copy(buf, inits)
+	return t.declare(name, n, true, buf)
+}
+
+func (t *Table) declare(name string, n int, isArr bool, init []int32) int {
+	t.ensure()
+	if _, dup := t.byName[name]; dup {
+		panic(fmt.Sprintf("expr: duplicate declaration of %q", name))
+	}
+	if _, dup := t.consts[name]; dup {
+		panic(fmt.Sprintf("expr: %q already declared as a constant", name))
+	}
+	off := t.size
+	t.entries = append(t.entries, entry{name: name, off: off, size: n, isArr: isArr, init: init})
+	t.byName[name] = len(t.entries) - 1
+	t.size += n
+	return off
+}
+
+// DefineConst declares a named compile-time constant.
+func (t *Table) DefineConst(name string, val int32) {
+	t.ensure()
+	if _, dup := t.consts[name]; dup {
+		panic(fmt.Sprintf("expr: duplicate constant %q", name))
+	}
+	if _, dup := t.byName[name]; dup {
+		panic(fmt.Sprintf("expr: %q already declared as a variable", name))
+	}
+	t.consts[name] = val
+}
+
+// Size returns the number of int32 cells the store needs.
+func (t *Table) Size() int { return t.size }
+
+// NewEnv allocates a store initialized with every variable's declared
+// initial value.
+func (t *Table) NewEnv() []int32 {
+	env := make([]int32, t.size)
+	for _, e := range t.entries {
+		copy(env[e.off:e.off+e.size], e.init)
+	}
+	return env
+}
+
+// LookupVar resolves a scalar variable reference.
+func (t *Table) LookupVar(name string) (Var, bool) {
+	t.ensure()
+	i, ok := t.byName[name]
+	if !ok || t.entries[i].isArr {
+		return Var{}, false
+	}
+	return Var{Off: t.entries[i].off, Name: name}, true
+}
+
+// LookupArray resolves an array reference, returning base offset and size.
+func (t *Table) LookupArray(name string) (base, size int, ok bool) {
+	t.ensure()
+	i, found := t.byName[name]
+	if !found || !t.entries[i].isArr {
+		return 0, 0, false
+	}
+	return t.entries[i].off, t.entries[i].size, true
+}
+
+// LookupConst resolves a named constant.
+func (t *Table) LookupConst(name string) (int32, bool) {
+	t.ensure()
+	v, ok := t.consts[name]
+	return v, ok
+}
+
+// NameAt returns a human-readable name for the store cell at offset off
+// (e.g. "posi[3]") and false if the offset is out of range.
+func (t *Table) NameAt(off int) (string, bool) {
+	for _, e := range t.entries {
+		if off >= e.off && off < e.off+e.size {
+			if !e.isArr {
+				return e.name, true
+			}
+			return fmt.Sprintf("%s[%d]", e.name, off-e.off), true
+		}
+	}
+	return "", false
+}
+
+// Names returns all declared variable names in declaration order.
+func (t *Table) Names() []string {
+	names := make([]string, len(t.entries))
+	for i, e := range t.entries {
+		names[i] = e.name
+	}
+	return names
+}
+
+// ConstNames returns all constant names, sorted.
+func (t *Table) ConstNames() []string {
+	t.ensure()
+	names := make([]string, 0, len(t.consts))
+	for n := range t.consts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,131 @@
+package mc
+
+import (
+	"fmt"
+	"time"
+)
+
+// bitTable is a 2-bits-per-state Holzmann supertrace table: a state is
+// considered visited when both of its independently hashed bits are set.
+// False positives prune reachable states (under-approximation); there are
+// no false negatives, so any trace found is genuine.
+type bitTable struct {
+	bits []uint64
+	mask uint64
+}
+
+func newBitTable(hashBits int) (*bitTable, error) {
+	if hashBits < 8 || hashBits > 34 {
+		return nil, fmt.Errorf("mc: HashBits %d out of range [8,34]", hashBits)
+	}
+	size := uint64(1) << hashBits
+	return &bitTable{bits: make([]uint64, size/64), mask: size - 1}, nil
+}
+
+// fnv1a computes FNV-1a with a seeded offset basis, giving cheap
+// independent hash functions.
+func fnv1a(seed uint64, data []byte) uint64 {
+	h := seed ^ 14695981039346656037
+	for _, b := range data {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// visit marks the state and reports whether it had already been seen
+// (both bits set).
+func (t *bitTable) visit(key []byte) bool {
+	h1 := fnv1a(0, key) & t.mask
+	h2 := fnv1a(0x9e3779b97f4a7c15, key) & t.mask
+	seen := t.bits[h1/64]&(1<<(h1%64)) != 0 && t.bits[h2/64]&(1<<(h2%64)) != 0
+	t.bits[h1/64] |= 1 << (h1 % 64)
+	t.bits[h2/64] |= 1 << (h2 % 64)
+	return seen
+}
+
+func (t *bitTable) memBytes() int64 { return int64(len(t.bits) * 8) }
+
+// exploreBitState is depth-first search with the bit-state table replacing
+// the passed list. No inclusion checking is possible (only hashes are
+// stored), exactly like UPPAAL's bit-state hashing option in the paper.
+func exploreBitState(en *engine, goal Goal) (Result, error) {
+	start := time.Now()
+	res := Result{}
+	st := &res.Stats
+
+	table, err := newBitTable(en.opts.HashBits)
+	if err != nil {
+		return res, err
+	}
+
+	init, err := en.initial()
+	if err != nil {
+		return res, err
+	}
+	if !goal.Deadlock && goal.Satisfied(init.locs, init.env) {
+		res.Found = true
+		st.Duration = time.Since(start)
+		return res, nil
+	}
+
+	var keyBuf []byte
+	stateKey := func(n *node) []byte {
+		keyBuf = discreteKey(keyBuf[:0], n.locs, n.env)
+		if en.opts.CoarseHash {
+			return keyBuf
+		}
+		return n.zone.AppendBytes(keyBuf)
+	}
+
+	table.visit(stateKey(init))
+	stack := []*node{init}
+	var stackBytes int64 = init.memBytes()
+	var found *node
+
+	for len(stack) > 0 && found == nil {
+		if reason := en.checkLimits(start, st, table.memBytes()+stackBytes); reason != AbortNone {
+			res.Abort = reason
+			break
+		}
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		stackBytes -= n.memBytes()
+		st.StatesExplored++
+		hadSucc := false
+		en.successors(n, func(s *node) {
+			hadSucc = true
+			st.Transitions++
+			if found != nil {
+				return
+			}
+			if table.visit(stateKey(s)) {
+				return
+			}
+			st.StatesStored++
+			if !goal.Deadlock && goal.Satisfied(s.locs, s.env) {
+				found = s
+				return
+			}
+			stack = append(stack, s)
+			stackBytes += s.memBytes()
+			if len(stack) > st.PeakWaiting {
+				st.PeakWaiting = len(stack)
+			}
+		})
+		if !hadSucc {
+			st.Deadends++
+			if goal.Deadlock && goal.Satisfied(n.locs, n.env) {
+				found = n
+			}
+		}
+	}
+
+	st.MemBytes = table.memBytes() + stackBytes
+	st.Duration = time.Since(start)
+	if found != nil {
+		res.Found = true
+		res.Trace = traceOf(found)
+	}
+	return res, nil
+}

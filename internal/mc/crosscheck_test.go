@@ -1,0 +1,167 @@
+package mc
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"guidedta/internal/expr"
+	"guidedta/internal/ta"
+)
+
+// randomSystem generates a small random timed-automata network: 2
+// automata, 2 clocks each, random guards/invariants/resets with constants
+// up to 6, one shared variable and one channel. The generator is seeded,
+// so failures reproduce.
+func randomSystem(rng *rand.Rand) (*ta.System, Goal) {
+	sys := ta.NewSystem("rand")
+	sys.Table.DeclareVar("v", 0)
+	ch := "c"
+	sys.AddChannel(ch, false)
+
+	mkAuto := func(name string, canSend bool) *ta.Automaton {
+		x := sys.AddClock("x" + name)
+		y := sys.AddClock("y" + name)
+		a := sys.AddAutomaton(name)
+		nLocs := 3 + rng.Intn(3)
+		for i := 0; i < nLocs; i++ {
+			a.AddLocation(fmt.Sprintf("l%d", i), ta.Normal)
+		}
+		a.SetInit(0)
+		// Random invariants (upper bounds only).
+		for i := 0; i < nLocs; i++ {
+			if rng.Intn(3) == 0 {
+				a.SetInvariant(i, ta.LE(pick(rng, x, y), int32(2+rng.Intn(5))))
+			}
+		}
+		nEdges := nLocs + rng.Intn(2*nLocs)
+		for i := 0; i < nEdges; i++ {
+			e := a.Edge(rng.Intn(nLocs), rng.Intn(nLocs))
+			switch rng.Intn(4) {
+			case 0:
+				e.When(ta.GE(pick(rng, x, y), int32(rng.Intn(6))))
+			case 1:
+				e.When(ta.LE(pick(rng, x, y), int32(1+rng.Intn(6))))
+			case 2:
+				e.When(ta.GE(x, int32(rng.Intn(4))), ta.LE(y, int32(2+rng.Intn(5))))
+			}
+			if rng.Intn(3) == 0 {
+				e.Reset(pick(rng, x, y))
+			}
+			if rng.Intn(4) == 0 {
+				e.Assign(fmt.Sprintf("v := (v + 1) %% 4"))
+			}
+			if rng.Intn(4) == 0 {
+				dir := ta.Recv
+				if canSend {
+					dir = ta.Send
+				}
+				e.Sync(ch, dir)
+			}
+			e.Done()
+		}
+		return a
+	}
+	a1 := mkAuto("A", true)
+	mkAuto("B", false)
+
+	goal := Goal{
+		Desc: "random goal",
+		Locs: []LocRequirement{{Automaton: 0, Location: len(a1.Locations) - 1}},
+	}
+	if rng.Intn(2) == 0 {
+		goal.Expr = expr.MustParse("v == 2", sys.Table)
+	}
+	return sys, goal
+}
+
+func pick(rng *rand.Rand, a, b int) int {
+	if rng.Intn(2) == 0 {
+		return a
+	}
+	return b
+}
+
+// TestSearchConfigurationsAgree cross-validates the engine: on random
+// models, every exact configuration (BFS/DFS × inclusion × active clocks ×
+// LU/classic extrapolation) must return the same verification answer, and
+// every positive answer must come with a concretizable trace. Bit-state
+// hashing with a generous table must find whatever DFS finds (on these
+// tiny models collisions are implausible, and any trace it returns must
+// still concretize).
+func TestSearchConfigurationsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260706))
+	trials := 120
+	if testing.Short() {
+		trials = 15
+	}
+	for trial := 0; trial < trials; trial++ {
+		sys, goal := randomSystem(rng)
+		if err := sys.Freeze(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+
+		type config struct {
+			name string
+			opts Options
+		}
+		var configs []config
+		for _, order := range []SearchOrder{BFS, DFS} {
+			for _, incl := range []bool{true, false} {
+				for _, act := range []bool{true, false} {
+					for _, classic := range []bool{true, false} {
+						o := DefaultOptions(order)
+						o.Inclusion = incl
+						o.ActiveClocks = act
+						o.ClassicExtrapolation = classic
+						o.MaxStates = 200_000
+						configs = append(configs, config{
+							name: fmt.Sprintf("%v/incl=%v/act=%v/classic=%v", order, incl, act, classic),
+							opts: o,
+						})
+					}
+				}
+			}
+		}
+
+		var want *bool
+		for _, c := range configs {
+			res, err := Explore(sys, goal, c.opts)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, c.name, err)
+			}
+			if res.Abort != AbortNone {
+				t.Fatalf("trial %d %s: aborted (%s) — generator made too large a model", trial, c.name, res.Abort)
+			}
+			if want == nil {
+				v := res.Found
+				want = &v
+			} else if res.Found != *want {
+				t.Fatalf("trial %d: %s disagrees: found=%v, first config found=%v",
+					trial, c.name, res.Found, *want)
+			}
+			if res.Found {
+				if _, err := Concretize(sys, res.Trace); err != nil {
+					t.Fatalf("trial %d %s: trace does not concretize: %v", trial, c.name, err)
+				}
+			}
+		}
+
+		// BSH is an under-approximation; with 2^22 bits on a model this
+		// small it should agree, and its trace must be genuine.
+		bsh := DefaultOptions(BSH)
+		bsh.MaxStates = 200_000
+		res, err := Explore(sys, goal, bsh)
+		if err != nil {
+			t.Fatalf("trial %d BSH: %v", trial, err)
+		}
+		if res.Found && !*want {
+			t.Fatalf("trial %d: BSH found a goal exact search rejects", trial)
+		}
+		if res.Found {
+			if _, err := Concretize(sys, res.Trace); err != nil {
+				t.Fatalf("trial %d BSH trace: %v", trial, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,453 @@
+package mc
+
+import (
+	"fmt"
+
+	"guidedta/internal/dbm"
+	"guidedta/internal/expr"
+	"guidedta/internal/ta"
+)
+
+// node is one symbolic state in the search: a location vector, an integer
+// store, and a delay-closed, invariant-constrained, canonical zone. Nodes
+// form a tree via parent pointers for trace reconstruction.
+type node struct {
+	locs   []int32
+	env    []int32
+	zone   *dbm.DBM
+	parent *node
+	via    Transition
+	depth  int
+	// subsumed marks nodes evicted from the passed store by a node with a
+	// larger zone; the search skips them when popped.
+	subsumed bool
+}
+
+// memBytes estimates the heap footprint of the node for the explorer's
+// space accounting.
+func (n *node) memBytes() int64 {
+	return int64(n.zone.MemBytes()) + int64(4*(len(n.locs)+len(n.env))) + 96
+}
+
+// engine holds the static data of one exploration: the system, search
+// options, extrapolation bounds and active-clock sets.
+type engine struct {
+	sys      *ta.System
+	opts     Options
+	nClocks  int
+	maxConst []int32
+	// LU-extrapolation bounds; useLU is false when the model has diagonal
+	// guards (LU and max-bound extrapolation are only proved for
+	// diagonal-free automata — with diagonals the engine falls back to
+	// plain max-bound extrapolation of individual clocks, the common
+	// practical compromise).
+	lower, upper []int32
+	useLU        bool
+
+	// active[a][l] is the bitset of clocks active in location l of
+	// automaton a (nil unless ActiveClocks).
+	active     [][][]uint64
+	bitWords   int
+	scratchAct []uint64
+
+	// urgentSyncPossible caches whether any urgent channel exists at all.
+	hasUrgentChan bool
+
+	// Per-channel sender/receiver candidate buffers, reused across states
+	// (plant models have hundreds of channels; allocating these per state
+	// would dominate).
+	sendBuf, recvBuf [][]syncCand
+	touchedChans     []int
+}
+
+// syncCand is an automaton/edge pair that can synchronize on a channel.
+type syncCand struct{ ai, ei int }
+
+func newEngine(sys *ta.System, opts Options) (*engine, error) {
+	if err := sys.Freeze(); err != nil {
+		return nil, err
+	}
+	en := &engine{
+		sys:      sys,
+		opts:     opts,
+		nClocks:  sys.NumClocks(),
+		maxConst: sys.MaxConstants(),
+	}
+	var hasDiag bool
+	en.lower, en.upper, hasDiag = sys.LUBounds()
+	en.useLU = !hasDiag && !opts.ClassicExtrapolation
+	if opts.TimeClock > 0 {
+		if opts.TimeClock >= en.nClocks {
+			return nil, fmt.Errorf("mc: TimeClock %d out of range", opts.TimeClock)
+		}
+		// The designated global time clock must stay observable up to the
+		// horizon for best-first time ordering to be meaningful.
+		if h := opts.TimeHorizon; h > 0 {
+			if en.maxConst[opts.TimeClock] < h {
+				en.maxConst[opts.TimeClock] = h
+			}
+			if en.lower[opts.TimeClock] < h {
+				en.lower[opts.TimeClock] = h
+			}
+			if en.upper[opts.TimeClock] < h {
+				en.upper[opts.TimeClock] = h
+			}
+		}
+	}
+	for i := 0; i < sys.NumChannels(); i++ {
+		if sys.Channel(i).Urgent {
+			en.hasUrgentChan = true
+		}
+	}
+	if opts.ActiveClocks {
+		en.computeActiveSets()
+	}
+	return en, nil
+}
+
+// computeActiveSets runs the per-automaton backward fixpoint of
+// Daws–Tripakis inactive-clock analysis: a clock is active in location l if
+// it can be tested (guard or invariant) before being reset on every path
+// from l. The per-state active set is the union over all automata, which is
+// sound because an automaton's reset cannot disable another automaton's
+// future test (that test keeps the clock active via its own automaton's
+// set).
+func (en *engine) computeActiveSets() {
+	en.bitWords = (en.nClocks + 63) / 64
+	en.scratchAct = make([]uint64, en.bitWords)
+	en.active = make([][][]uint64, len(en.sys.Automata))
+	for ai, a := range en.sys.Automata {
+		sets := make([][]uint64, len(a.Locations))
+		for li := range sets {
+			sets[li] = make([]uint64, en.bitWords)
+		}
+		// Seed with directly tested clocks.
+		note := func(li int, cs []ta.ClockConstraint) {
+			for _, c := range cs {
+				if c.I != 0 {
+					sets[li][c.I/64] |= 1 << (c.I % 64)
+				}
+				if c.J != 0 {
+					sets[li][c.J/64] |= 1 << (c.J % 64)
+				}
+			}
+		}
+		for li, l := range a.Locations {
+			note(li, l.Invariant)
+		}
+		for _, e := range a.Edges {
+			note(e.Src, e.ClockGuard)
+		}
+		// Propagate backwards over edges until fixpoint.
+		for changed := true; changed; {
+			changed = false
+			for _, e := range a.Edges {
+				src, dst := sets[e.Src], sets[e.Dst]
+				for w := 0; w < en.bitWords; w++ {
+					inherit := dst[w]
+					for _, r := range e.Resets {
+						if r.Clock/64 == w {
+							inherit &^= 1 << (r.Clock % 64)
+						}
+					}
+					if inherit&^src[w] != 0 {
+						src[w] |= inherit
+						changed = true
+					}
+				}
+			}
+		}
+		en.active[ai] = sets
+	}
+}
+
+// extrapolate normalizes a successor zone. With active-clock reduction,
+// clocks that cannot be tested before their next reset are freed (an O(n)
+// canonical-form-preserving operation, so the common case avoids the O(n³)
+// re-closure that arbitrary extrapolation needs); max-bound extrapolation
+// with the global per-clock maxima then bounds the remaining clocks.
+func (en *engine) extrapolate(locs []int32, z *dbm.DBM) bool {
+	if en.opts.ActiveClocks {
+		act := en.scratchAct
+		for w := range act {
+			act[w] = 0
+		}
+		for ai := range en.sys.Automata {
+			set := en.active[ai][locs[ai]]
+			for w := range act {
+				act[w] |= set[w]
+			}
+		}
+		if tc := en.opts.TimeClock; tc > 0 {
+			act[tc/64] |= 1 << (tc % 64) // global time stays observable
+		}
+		for c := 1; c < en.nClocks; c++ {
+			if act[c/64]&(1<<(c%64)) == 0 {
+				z.FreeClock(c)
+			}
+		}
+	}
+	if !en.opts.Extrapolate {
+		return !z.IsEmpty()
+	}
+	if en.useLU {
+		return z.ExtrapolateLU(en.lower, en.upper)
+	}
+	return z.ExtrapolateMaxBounds(en.maxConst)
+}
+
+// applyInvariants intersects the zone with every location invariant of the
+// vector, returning false on emptiness.
+func (en *engine) applyInvariants(locs []int32, z *dbm.DBM) bool {
+	for ai, a := range en.sys.Automata {
+		for _, c := range a.Locations[locs[ai]].Invariant {
+			if !z.Constrain(c.I, c.J, c.B) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// urgency classifies a discrete state: committed automata present, and
+// whether delay is forbidden (committed or urgent location, or an enabled
+// urgent-channel synchronization).
+func (en *engine) urgency(locs []int32, env []int32) (committed []int, noDelay bool) {
+	for ai, a := range en.sys.Automata {
+		switch a.Locations[locs[ai]].Kind {
+		case ta.Committed:
+			committed = append(committed, ai)
+			noDelay = true
+		case ta.Urgent:
+			noDelay = true
+		}
+	}
+	if noDelay || !en.hasUrgentChan {
+		return committed, noDelay
+	}
+	// Check for an enabled urgent synchronization. Urgent-channel edges
+	// have no clock guards (enforced by Validate), so enabledness depends
+	// only on the integer state.
+	nch := en.sys.NumChannels()
+	senders := make([][]int, nch) // automata with an enabled urgent send
+	for ai, a := range en.sys.Automata {
+		for _, ei := range a.OutEdges(int(locs[ai])) {
+			e := &a.Edges[ei]
+			if e.Dir != ta.Send || !en.sys.Channel(e.Chan).Urgent {
+				continue
+			}
+			if expr.Truthy(e.IntGuard, env) {
+				senders[e.Chan] = append(senders[e.Chan], ai)
+			}
+		}
+	}
+	for ai, a := range en.sys.Automata {
+		for _, ei := range a.OutEdges(int(locs[ai])) {
+			e := &a.Edges[ei]
+			if e.Dir != ta.Recv || !en.sys.Channel(e.Chan).Urgent {
+				continue
+			}
+			if !expr.Truthy(e.IntGuard, env) {
+				continue
+			}
+			for _, s := range senders[e.Chan] {
+				if s != ai {
+					return committed, true
+				}
+			}
+		}
+	}
+	return committed, noDelay
+}
+
+// finishZone completes a successor zone: target invariants, delay closure
+// when permitted, re-application of invariants, and extrapolation. Returns
+// false if the zone empties.
+func (en *engine) finishZone(locs []int32, env []int32, z *dbm.DBM) bool {
+	if !en.applyInvariants(locs, z) {
+		return false
+	}
+	if _, noDelay := en.urgency(locs, env); !noDelay {
+		z.Up()
+		if !en.applyInvariants(locs, z) {
+			return false
+		}
+	}
+	return en.extrapolate(locs, z)
+}
+
+// initial builds the initial symbolic state.
+func (en *engine) initial() (*node, error) {
+	locs := make([]int32, len(en.sys.Automata))
+	for ai, a := range en.sys.Automata {
+		locs[ai] = int32(a.Init)
+	}
+	env := en.sys.Table.NewEnv()
+	z := dbm.Zero(en.nClocks)
+	if !en.finishZone(locs, env, z) {
+		return nil, fmt.Errorf("mc: initial state violates invariants")
+	}
+	return &node{locs: locs, env: env, zone: z}, nil
+}
+
+// fire attempts transition t from n: e1 (and e2 for syncs) must already be
+// known integer-enabled. Returns nil if clock guards or invariants make the
+// successor empty.
+func (en *engine) fire(n *node, t Transition) *node {
+	a1 := en.sys.Automata[t.A1]
+	e1 := &a1.Edges[t.E1]
+	var e2 *ta.Edge
+	if !t.Internal() {
+		e2 = &en.sys.Automata[t.A2].Edges[t.E2]
+	}
+
+	z := n.zone.Clone()
+	for _, c := range e1.ClockGuard {
+		if !z.Constrain(c.I, c.J, c.B) {
+			return nil
+		}
+	}
+	if e2 != nil {
+		for _, c := range e2.ClockGuard {
+			if !z.Constrain(c.I, c.J, c.B) {
+				return nil
+			}
+		}
+	}
+
+	env := make([]int32, len(n.env))
+	copy(env, n.env)
+	// UPPAAL evaluates the sender's update before the receiver's.
+	expr.ExecAll(e1.Assigns, env)
+	if e2 != nil {
+		expr.ExecAll(e2.Assigns, env)
+	}
+
+	locs := make([]int32, len(n.locs))
+	copy(locs, n.locs)
+	locs[t.A1] = int32(e1.Dst)
+	if e2 != nil {
+		locs[t.A2] = int32(e2.Dst)
+	}
+
+	for _, r := range e1.Resets {
+		z.Reset(r.Clock, r.Value)
+	}
+	if e2 != nil {
+		for _, r := range e2.Resets {
+			z.Reset(r.Clock, r.Value)
+		}
+	}
+
+	if !en.finishZone(locs, env, z) {
+		return nil
+	}
+	return &node{locs: locs, env: env, zone: z, parent: n, via: t, depth: n.depth + 1}
+}
+
+// successors enumerates all enabled transitions of n and yields the
+// resulting nodes. Committed-location semantics restrict transitions to
+// those leaving a committed location when any automaton is committed.
+func (en *engine) successors(n *node, yield func(*node)) {
+	committed, _ := en.urgency(n.locs, n.env)
+	isCommitted := func(ai int) bool {
+		for _, c := range committed {
+			if c == ai {
+				return true
+			}
+		}
+		return false
+	}
+	allowed := func(t Transition) bool {
+		if len(committed) == 0 {
+			return true
+		}
+		if isCommitted(t.A1) {
+			return true
+		}
+		return !t.Internal() && isCommitted(t.A2)
+	}
+
+	nch := en.sys.NumChannels()
+	if en.sendBuf == nil && nch > 0 {
+		en.sendBuf = make([][]syncCand, nch)
+		en.recvBuf = make([][]syncCand, nch)
+	}
+	senders, receivers := en.sendBuf, en.recvBuf
+	touched := en.touchedChans[:0]
+	touch := func(ch int) {
+		if len(senders[ch]) == 0 && len(receivers[ch]) == 0 {
+			touched = append(touched, ch)
+		}
+	}
+
+	for ai, a := range en.sys.Automata {
+		for _, ei := range a.OutEdges(int(n.locs[ai])) {
+			e := &a.Edges[ei]
+			if !expr.Truthy(e.IntGuard, n.env) {
+				continue
+			}
+			// Cheap per-edge clock-guard satisfiability pre-check.
+			ok := true
+			for _, c := range e.ClockGuard {
+				if !n.zone.Satisfiable(c.I, c.J, c.B) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			switch e.Dir {
+			case ta.NoSync:
+				t := Transition{Chan: -1, A1: ai, E1: ei, A2: -1, E2: -1}
+				if !allowed(t) {
+					continue
+				}
+				if s := en.fire(n, t); s != nil {
+					yield(s)
+				}
+			case ta.Send:
+				touch(e.Chan)
+				senders[e.Chan] = append(senders[e.Chan], syncCand{ai, ei})
+			case ta.Recv:
+				touch(e.Chan)
+				receivers[e.Chan] = append(receivers[e.Chan], syncCand{ai, ei})
+			}
+		}
+	}
+
+	for _, ch := range touched {
+		for _, s := range senders[ch] {
+			for _, r := range receivers[ch] {
+				if s.ai == r.ai {
+					continue
+				}
+				t := Transition{Chan: ch, A1: s.ai, E1: s.ei, A2: r.ai, E2: r.ei}
+				if !allowed(t) {
+					continue
+				}
+				if succ := en.fire(n, t); succ != nil {
+					yield(succ)
+				}
+			}
+		}
+	}
+	for _, ch := range touched {
+		senders[ch] = senders[ch][:0]
+		receivers[ch] = receivers[ch][:0]
+	}
+	en.touchedChans = touched[:0]
+}
+
+// discreteKey serializes the discrete part of a state for passed-list
+// lookup.
+func discreteKey(buf []byte, locs, env []int32) []byte {
+	for _, l := range locs {
+		buf = append(buf, byte(l), byte(l>>8))
+	}
+	for _, v := range env {
+		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return buf
+}

@@ -1,0 +1,230 @@
+// Package mc implements symbolic (zone-based) reachability analysis for
+// networks of timed automata: the verification engine of the paper's
+// methodology. It supports the UPPAAL options used in the paper's
+// experiments — breadth-first and depth-first search order, bit-state
+// hashing (Holzmann's supertrace), passed-list inclusion checking, compact
+// canonical zone storage, and (in-)active clock reduction — plus diagnostic
+// trace generation and concretization into timestamped schedules.
+package mc
+
+import (
+	"fmt"
+	"time"
+
+	"guidedta/internal/expr"
+	"guidedta/internal/ta"
+)
+
+// SearchOrder selects the exploration strategy.
+type SearchOrder int
+
+// Search orders. BFS and DFS keep a full passed list; BSH is depth-first
+// search with bit-state hashing: the passed list is replaced by a hash
+// table of 2 bits per state, making the search an under-approximation (any
+// trace found is still a valid trace, as the paper notes).
+const (
+	BFS SearchOrder = iota
+	DFS
+	BSH
+	// BestTime is a best-first order on the minimal possible global time
+	// of a state, yielding time-optimal (or near-optimal) schedules. This
+	// implements the paper's "more optimal programs" future-work item.
+	BestTime
+)
+
+// String implements fmt.Stringer.
+func (s SearchOrder) String() string {
+	switch s {
+	case BFS:
+		return "BFS"
+	case DFS:
+		return "DFS"
+	case BSH:
+		return "BSH"
+	case BestTime:
+		return "BestTime"
+	default:
+		return fmt.Sprintf("SearchOrder(%d)", int(s))
+	}
+}
+
+// Options configures the explorer. The zero value is not useful; start
+// from DefaultOptions.
+type Options struct {
+	Search SearchOrder
+	// HashBits sets the bit-state table size to 2^HashBits bits (BSH only).
+	HashBits int
+	// CoarseHash makes BSH hash only the discrete part of each state
+	// (locations and integers), ignoring the zone: every discrete state is
+	// explored at most once. A stronger under-approximation than plain
+	// bit-state hashing — still sound for any trace found — that scales
+	// schedule synthesis to instances where zone enumeration is hopeless.
+	CoarseHash bool
+	// Inclusion enables passed-list zone-inclusion subsumption (on by
+	// default; with it off, only exact zone equality deduplicates).
+	Inclusion bool
+	// Extrapolate enables extrapolation (on by default; required for
+	// termination on models with unbounded clocks). Diagonal-free models
+	// use the coarser LU-bounds abstraction unless ClassicExtrapolation
+	// forces plain max-bound extrapolation.
+	Extrapolate          bool
+	ClassicExtrapolation bool
+	// ActiveClocks enables (in-)active clock reduction: clocks that cannot
+	// be tested before their next reset are freed per location vector.
+	ActiveClocks bool
+	// MaxStates aborts the search after exploring this many states
+	// (0 = unlimited).
+	MaxStates int
+	// MaxMemory aborts the search when the estimated live search memory
+	// exceeds this many bytes (0 = unlimited). This models the paper's
+	// 256 MB cutoff.
+	MaxMemory int64
+	// Timeout aborts the search after this wall-clock duration
+	// (0 = unlimited). This models the paper's two-hour cutoff.
+	Timeout time.Duration
+	// Profile enables per-automaton transition counting in
+	// Stats.ByAutomaton, useful for finding which component drives the
+	// state-space size.
+	Profile bool
+	// Inspect, when non-nil, is called for every explored state with its
+	// location vector, integer store, and depth — a debugging hook for
+	// understanding search frontiers. The slices must not be retained.
+	Inspect func(locs []int32, env []int32, depth int)
+	// InspectDeadend, when non-nil, is called for every explored state
+	// with no successors (a deadlock).
+	InspectDeadend func(locs []int32, env []int32, depth int)
+	// Priority, when non-nil, orders successor exploration: transitions
+	// with higher priority are explored first (a user search heuristic in
+	// the spirit of guiding; it cannot change verification answers, only
+	// effort).
+	Priority func(t Transition) int
+	// TimeClock designates a never-reset clock measuring global time,
+	// required by the BestTime search order (0 = none). The clock's
+	// extrapolation bound is raised to TimeHorizon so that the time
+	// ordering stays observable.
+	TimeClock   int
+	TimeHorizon int32
+}
+
+// DefaultOptions returns the options matching UPPAAL's defaults in the
+// paper's experiments: inclusion checking, extrapolation, and active-clock
+// reduction enabled.
+func DefaultOptions(search SearchOrder) Options {
+	return Options{
+		Search:       search,
+		HashBits:     22,
+		Inclusion:    true,
+		Extrapolate:  true,
+		ActiveClocks: true,
+	}
+}
+
+// AbortReason says why a search stopped without an answer.
+type AbortReason string
+
+// Abort reasons; empty means the search ran to completion.
+const (
+	AbortNone    AbortReason = ""
+	AbortStates  AbortReason = "state limit"
+	AbortMemory  AbortReason = "memory limit"
+	AbortTimeout AbortReason = "timeout"
+)
+
+// Stats reports search effort, the data behind Table 1.
+type Stats struct {
+	StatesExplored int           // states popped and expanded
+	StatesStored   int           // states currently in the passed list
+	Transitions    int           // successor states generated
+	PeakWaiting    int           // maximum waiting-list length
+	Duration       time.Duration // wall-clock search time
+	MemBytes       int64         // estimated peak live search memory
+	// ByAutomaton counts generated transitions per initiating automaton
+	// (populated only with Options.Profile).
+	ByAutomaton []int
+	// Deadends counts explored states with no successors.
+	Deadends int
+	// DiscreteStates counts distinct discrete states (location vectors +
+	// integer stores) in the passed list; StatesStored / DiscreteStates is
+	// the average zone-antichain width.
+	DiscreteStates int
+}
+
+// String implements fmt.Stringer.
+func (s Stats) String() string {
+	return fmt.Sprintf("explored=%d stored=%d transitions=%d peakWaiting=%d time=%v mem=%.1fMB",
+		s.StatesExplored, s.StatesStored, s.Transitions, s.PeakWaiting,
+		s.Duration.Round(time.Millisecond), float64(s.MemBytes)/(1<<20))
+}
+
+// Result is the outcome of a reachability analysis.
+type Result struct {
+	Found bool
+	// Trace is the symbolic diagnostic trace (sequence of transitions from
+	// the initial state) when Found.
+	Trace []Transition
+	Stats Stats
+	Abort AbortReason
+}
+
+// Transition identifies one fired transition of the network: either an
+// internal edge of one automaton or a binary synchronization between two.
+type Transition struct {
+	Chan   int // channel index, -1 for internal transitions
+	A1, E1 int // automaton and edge index of the internal/sending edge
+	A2, E2 int // receiving automaton and edge; -1 for internal transitions
+}
+
+// Internal reports whether the transition is unsynchronized.
+func (t Transition) Internal() bool { return t.A2 < 0 }
+
+// Format renders the transition using model names, e.g. "go: P.p0->p1 /
+// Q.q0->q1".
+func (t Transition) Format(sys *ta.System) string {
+	a1 := sys.Automata[t.A1]
+	e1 := a1.Edges[t.E1]
+	part1 := fmt.Sprintf("%s.%s->%s", a1.Name, a1.Locations[e1.Src].Name, a1.Locations[e1.Dst].Name)
+	if t.Internal() {
+		return part1
+	}
+	a2 := sys.Automata[t.A2]
+	e2 := a2.Edges[t.E2]
+	return fmt.Sprintf("%s: %s / %s.%s->%s", sys.Channel(t.Chan).Name, part1,
+		a2.Name, a2.Locations[e2.Src].Name, a2.Locations[e2.Dst].Name)
+}
+
+// Goal is a reachability query E<> (locations ∧ expression), optionally
+// requiring the state to be a deadlock.
+type Goal struct {
+	Desc string
+	// Expr is an integer-state predicate; nil means true.
+	Expr expr.Expr
+	// Locs require specific automata to be in specific locations.
+	Locs []LocRequirement
+	// Deadlock requires the state to have no discrete successor (no
+	// transition enabled now or after any delay the invariants allow).
+	Deadlock bool
+}
+
+// LocRequirement pins one automaton to one location.
+type LocRequirement struct {
+	Automaton int
+	Location  int
+}
+
+// Satisfied evaluates the goal against a discrete state.
+func (g Goal) Satisfied(locs []int32, env []int32) bool {
+	for _, lr := range g.Locs {
+		if locs[lr.Automaton] != int32(lr.Location) {
+			return false
+		}
+	}
+	return expr.Truthy(g.Expr, env)
+}
+
+// String implements fmt.Stringer.
+func (g Goal) String() string {
+	if g.Desc != "" {
+		return g.Desc
+	}
+	return "E<> goal"
+}

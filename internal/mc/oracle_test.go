@@ -1,0 +1,265 @@
+package mc
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"guidedta/internal/expr"
+	"guidedta/internal/ta"
+)
+
+// discreteOracle is a brute-force integer-time explorer. For closed timed
+// automata (all constraints non-strict) without diagonal guards,
+// reachability under dense time coincides with reachability under unit
+// delays with per-clock saturation just above the largest constant — so
+// this oracle gives ground truth for the zone engine on such models.
+type discreteOracle struct {
+	sys *ta.System
+	cap []int64 // per-clock saturation value (maxConst+1)
+}
+
+type concreteState struct {
+	key string
+}
+
+func newOracle(sys *ta.System) *discreteOracle {
+	max := sys.MaxConstants()
+	caps := make([]int64, len(max))
+	for i, m := range max {
+		caps[i] = int64(m) + 1
+	}
+	return &discreteOracle{sys: sys, cap: caps}
+}
+
+func (o *discreteOracle) reachable(goal Goal, maxStates int) (bool, error) {
+	nA := len(o.sys.Automata)
+	locs := make([]int32, nA)
+	for i, a := range o.sys.Automata {
+		locs[i] = int32(a.Init)
+	}
+	env := o.sys.Table.NewEnv()
+	clocks := make([]int64, o.sys.NumClocks())
+
+	type state struct {
+		locs   []int32
+		env    []int32
+		clocks []int64
+	}
+	key := func(l []int32, e []int32, c []int64) string {
+		return fmt.Sprintf("%v|%v|%v", l, e, c)
+	}
+	start := state{locs, env, clocks}
+	seen := map[string]bool{key(locs, env, clocks): true}
+	queue := []state{start}
+
+	satisfiesInv := func(l []int32, c []int64) bool {
+		for ai, a := range o.sys.Automata {
+			for _, cc := range a.Locations[l[ai]].Invariant {
+				if !cc.B.SatisfiedBy(c[cc.I] - c[cc.J]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	classify := func(l []int32, e []int32) (committed map[int]bool, noDelay bool) {
+		committed = map[int]bool{}
+		for ai, a := range o.sys.Automata {
+			switch a.Locations[l[ai]].Kind {
+			case ta.Committed:
+				committed[ai] = true
+				noDelay = true
+			case ta.Urgent:
+				noDelay = true
+			}
+		}
+		// Urgent channels: enabled sync forbids delay (clock-free guards by
+		// validation).
+		for ai, a := range o.sys.Automata {
+			for _, ei := range a.OutEdges(int(l[ai])) {
+				ed := &a.Edges[ei]
+				if ed.Dir != ta.Send || !o.sys.Channel(ed.Chan).Urgent || !expr.Truthy(ed.IntGuard, e) {
+					continue
+				}
+				for aj, b := range o.sys.Automata {
+					if aj == ai {
+						continue
+					}
+					for _, ej := range b.OutEdges(int(l[aj])) {
+						ed2 := &b.Edges[ej]
+						if ed2.Dir == ta.Recv && ed2.Chan == ed.Chan && expr.Truthy(ed2.IntGuard, e) {
+							noDelay = true
+						}
+					}
+				}
+			}
+		}
+		return committed, noDelay
+	}
+	guardOK := func(e *ta.Edge, env []int32, c []int64) bool {
+		if !expr.Truthy(e.IntGuard, env) {
+			return false
+		}
+		for _, cc := range e.ClockGuard {
+			if !cc.B.SatisfiedBy(c[cc.I] - c[cc.J]) {
+				return false
+			}
+		}
+		return true
+	}
+
+	for len(queue) > 0 {
+		if len(seen) > maxStates {
+			return false, fmt.Errorf("oracle exceeded %d states", maxStates)
+		}
+		s := queue[0]
+		queue = queue[1:]
+		if goal.Satisfied(s.locs, s.env) {
+			return true, nil
+		}
+
+		push := func(l []int32, e []int32, c []int64) {
+			if !satisfiesInv(l, c) {
+				return
+			}
+			k := key(l, e, c)
+			if seen[k] {
+				return
+			}
+			seen[k] = true
+			queue = append(queue, state{l, e, c})
+		}
+
+		committed, noDelay := classify(s.locs, s.env)
+
+		// Unit delay.
+		if !noDelay {
+			c2 := make([]int64, len(s.clocks))
+			for i := range c2 {
+				c2[i] = s.clocks[i] + 1
+				if i == 0 {
+					c2[i] = 0
+				} else if c2[i] > o.cap[i] {
+					c2[i] = o.cap[i]
+				}
+			}
+			push(s.locs, s.env, c2)
+		}
+
+		allowed := func(a1, a2 int) bool {
+			if len(committed) == 0 {
+				return true
+			}
+			return committed[a1] || (a2 >= 0 && committed[a2])
+		}
+		fire := func(a1, e1, a2, e2 int) {
+			ed1 := &o.sys.Automata[a1].Edges[e1]
+			var ed2 *ta.Edge
+			if a2 >= 0 {
+				ed2 = &o.sys.Automata[a2].Edges[e2]
+			}
+			env2 := append([]int32{}, s.env...)
+			expr.ExecAll(ed1.Assigns, env2)
+			if ed2 != nil {
+				expr.ExecAll(ed2.Assigns, env2)
+			}
+			locs2 := append([]int32{}, s.locs...)
+			locs2[a1] = int32(ed1.Dst)
+			if ed2 != nil {
+				locs2[a2] = int32(ed2.Dst)
+			}
+			c2 := append([]int64{}, s.clocks...)
+			for _, r := range ed1.Resets {
+				c2[r.Clock] = int64(r.Value)
+			}
+			if ed2 != nil {
+				for _, r := range ed2.Resets {
+					c2[r.Clock] = int64(r.Value)
+				}
+			}
+			push(locs2, env2, c2)
+		}
+
+		for ai, a := range o.sys.Automata {
+			for _, ei := range a.OutEdges(int(s.locs[ai])) {
+				e := &a.Edges[ei]
+				if !guardOK(e, s.env, s.clocks) {
+					continue
+				}
+				switch e.Dir {
+				case ta.NoSync:
+					if allowed(ai, -1) {
+						fire(ai, ei, -1, -1)
+					}
+				case ta.Send:
+					for aj, b := range o.sys.Automata {
+						if aj == ai {
+							continue
+						}
+						for _, ej := range b.OutEdges(int(s.locs[aj])) {
+							e2 := &b.Edges[ej]
+							if e2.Dir == ta.Recv && e2.Chan == e.Chan && guardOK(e2, s.env, s.clocks) && allowed(ai, aj) {
+								fire(ai, ei, aj, ej)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return false, nil
+}
+
+// closedRandomSystem is like randomSystem but uses only non-strict
+// constraints, so the discrete oracle is exact.
+func closedRandomSystem(rng *rand.Rand) (*ta.System, Goal) {
+	for {
+		sys, goal := randomSystem(rng)
+		closed := true
+		for _, a := range sys.Automata {
+			for _, e := range a.Edges {
+				for _, c := range e.ClockGuard {
+					if !c.B.IsWeak() {
+						closed = false
+					}
+				}
+			}
+		}
+		if closed {
+			return sys, goal
+		}
+	}
+}
+
+// TestZoneEngineMatchesDiscreteOracle is the strongest engine test: on
+// random closed models, symbolic zone reachability must agree exactly with
+// brute-force integer-time exploration.
+func TestZoneEngineMatchesDiscreteOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	trials := 60
+	if testing.Short() {
+		trials = 10
+	}
+	for trial := 0; trial < trials; trial++ {
+		sys, goal := closedRandomSystem(rng)
+		if err := sys.Freeze(); err != nil {
+			t.Fatal(err)
+		}
+		want, err := newOracle(sys).reachable(goal, 2_000_000)
+		if err != nil {
+			t.Logf("trial %d: oracle gave up (%v), skipping", trial, err)
+			continue
+		}
+		res, err := Explore(sys, goal, DefaultOptions(BFS))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if res.Abort != AbortNone {
+			t.Fatalf("trial %d: engine aborted", trial)
+		}
+		if res.Found != want {
+			t.Fatalf("trial %d: zone engine says %v, discrete oracle says %v", trial, res.Found, want)
+		}
+	}
+}

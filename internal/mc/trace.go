@@ -1,0 +1,324 @@
+package mc
+
+import (
+	"fmt"
+
+	"guidedta/internal/expr"
+	"guidedta/internal/ta"
+)
+
+// ConcreteStep is one transition of a concretized trace with an absolute
+// firing time. Times are stored in half time units (all constants are
+// scaled by 2 internally so that strict bounds have exact integer
+// solutions); use TimeString or the Half constant to convert.
+type ConcreteStep struct {
+	Time  int64 // absolute time in half units
+	Trans Transition
+}
+
+// Half is the number of internal time units per model time unit.
+const Half = 2
+
+// TimeString renders a half-unit timestamp as "12" or "12.5".
+func TimeString(t int64) string {
+	if t%Half == 0 {
+		return fmt.Sprintf("%d", t/Half)
+	}
+	return fmt.Sprintf("%d.5", t/Half)
+}
+
+// diffConstraint is T[u] - T[v] <= w over transition firing times, with
+// T[0] = 0 the trace start.
+type diffConstraint struct {
+	u, v int
+	w    int64
+}
+
+// Concretize assigns an absolute firing time to every transition of a
+// symbolic trace, choosing the earliest consistent schedule. It replays the
+// discrete path, collects the difference constraints induced by guards and
+// invariants, solves them greedily, and falls back to an exact
+// Bellman–Ford solution if the greedy choice is inconsistent (possible
+// when delaying a reset would have relaxed a later upper bound).
+func Concretize(sys *ta.System, trace []Transition) ([]ConcreteStep, error) {
+	cons, err := traceConstraints(sys, trace)
+	if err != nil {
+		return nil, err
+	}
+	times, err := solveDifferenceConstraints(len(trace), cons)
+	if err != nil {
+		return nil, err
+	}
+	steps := make([]ConcreteStep, len(trace))
+	for i, t := range trace {
+		steps[i] = ConcreteStep{Time: times[i+1], Trans: t}
+	}
+	return steps, nil
+}
+
+// ValidateConcrete checks that concrete firing times satisfy every timing
+// constraint the symbolic trace induces (guards, invariants, monotonicity).
+// It is the independent checker for Concretize's output: any schedule that
+// passes is genuinely executable.
+func ValidateConcrete(sys *ta.System, steps []ConcreteStep) error {
+	trace := make([]Transition, len(steps))
+	for i, s := range steps {
+		trace[i] = s.Trans
+	}
+	cons, err := traceConstraints(sys, trace)
+	if err != nil {
+		return err
+	}
+	times := make([]int64, len(steps)+1)
+	for i, s := range steps {
+		times[i+1] = s.Time
+	}
+	for _, c := range cons {
+		if times[c.u]-times[c.v] > c.w {
+			return fmt.Errorf("mc: timing constraint T%d - T%d <= %s violated (%s - %s)",
+				c.u, c.v, TimeString(c.w), TimeString(times[c.u]), TimeString(times[c.v]))
+		}
+	}
+	return nil
+}
+
+// traceConstraints replays the discrete path of a trace and collects the
+// difference constraints over transition firing times.
+func traceConstraints(sys *ta.System, trace []Transition) ([]diffConstraint, error) {
+	if err := sys.Freeze(); err != nil {
+		return nil, err
+	}
+	// lastReset[c] = (step index, scaled value) of clock c's latest reset.
+	type resetPoint struct {
+		step int
+		val  int64
+	}
+	lastReset := make([]resetPoint, sys.NumClocks())
+
+	locs := make([]int32, len(sys.Automata))
+	for ai, a := range sys.Automata {
+		locs[ai] = int32(a.Init)
+	}
+	env := sys.Table.NewEnv()
+
+	var cons []diffConstraint
+	add := func(u, v int, w int64) { cons = append(cons, diffConstraint{u, v, w}) }
+
+	// scaledBound converts a weak/strict bound to the ×2 integer encoding.
+	scaledBound := func(c ta.ClockConstraint) int64 {
+		w := int64(c.B.Value()) * Half
+		if !c.B.IsWeak() {
+			w--
+		}
+		return w
+	}
+	// addClockConstraint records guard/invariant constraint c as holding at
+	// time step s.
+	addClockConstraint := func(s int, c ta.ClockConstraint) {
+		switch {
+		case c.I != 0 && c.J == 0:
+			r := lastReset[c.I]
+			add(s, r.step, scaledBound(c)-r.val)
+		case c.I == 0 && c.J != 0:
+			r := lastReset[c.J]
+			add(r.step, s, scaledBound(c)+r.val)
+		default:
+			ri, rj := lastReset[c.I], lastReset[c.J]
+			add(rj.step, ri.step, scaledBound(c)-ri.val+rj.val)
+		}
+	}
+	invariantsAt := func(s int) {
+		for ai, a := range sys.Automata {
+			for _, c := range a.Locations[locs[ai]].Invariant {
+				addClockConstraint(s, c)
+			}
+		}
+	}
+
+	for si, t := range trace {
+		s := si + 1
+		add(s-1, s, 0) // monotonic time: T[s] >= T[s-1]
+
+		a1 := sys.Automata[t.A1]
+		e1 := &a1.Edges[t.E1]
+		var e2 *ta.Edge
+		if !t.Internal() {
+			e2 = &sys.Automata[t.A2].Edges[t.E2]
+		}
+		if int(locs[t.A1]) != e1.Src {
+			return nil, fmt.Errorf("mc: trace step %d: automaton %s not at %s", s, a1.Name, a1.Locations[e1.Src].Name)
+		}
+		if e2 != nil && int(locs[t.A2]) != e2.Src {
+			return nil, fmt.Errorf("mc: trace step %d: receiver not at source location", s)
+		}
+		if !expr.Truthy(e1.IntGuard, env) || (e2 != nil && !expr.Truthy(e2.IntGuard, env)) {
+			return nil, fmt.Errorf("mc: trace step %d: integer guard not satisfied", s)
+		}
+
+		// Source invariants hold up to and including T[s].
+		invariantsAt(s)
+		for _, c := range e1.ClockGuard {
+			addClockConstraint(s, c)
+		}
+		if e2 != nil {
+			for _, c := range e2.ClockGuard {
+				addClockConstraint(s, c)
+			}
+		}
+
+		// Discrete update.
+		expr.ExecAll(e1.Assigns, env)
+		if e2 != nil {
+			expr.ExecAll(e2.Assigns, env)
+		}
+		locs[t.A1] = int32(e1.Dst)
+		if e2 != nil {
+			locs[t.A2] = int32(e2.Dst)
+		}
+		for _, r := range e1.Resets {
+			lastReset[r.Clock] = resetPoint{step: s, val: int64(r.Value) * Half}
+		}
+		if e2 != nil {
+			for _, r := range e2.Resets {
+				lastReset[r.Clock] = resetPoint{step: s, val: int64(r.Value) * Half}
+			}
+		}
+
+		// Target invariants hold on entry at T[s].
+		invariantsAt(s)
+	}
+
+	return cons, nil
+}
+
+// solveDifferenceConstraints finds T[0..k] with T[0]=0 satisfying every
+// T[u]-T[v] <= w, preferring the earliest (pointwise minimal) solution. The
+// greedy forward pass is exact whenever upper bounds never force delaying a
+// reset (the common case); otherwise Bellman–Ford provides a feasible
+// solution.
+func solveDifferenceConstraints(k int, cons []diffConstraint) ([]int64, error) {
+	times := make([]int64, k+1)
+	// Group constraints by their later variable for the greedy pass.
+	lower := make([][]diffConstraint, k+1) // constraints giving T[s] >= ...
+	check := make([][]diffConstraint, k+1) // constraints checkable once max(u,v) fixed
+	for _, c := range cons {
+		m := c.u
+		if c.v > m {
+			m = c.v
+		}
+		if c.u == m && c.v < m {
+			// T[m] - T[v] <= w: upper bound on T[m].
+			check[m] = append(check[m], c)
+		} else if c.v == m && c.u < m {
+			// T[u] - T[m] <= w: lower bound T[m] >= T[u] - w.
+			lower[m] = append(lower[m], c)
+		} else {
+			check[m] = append(check[m], c) // u == v or same-step diagonal
+		}
+	}
+	greedyOK := true
+greedy:
+	for s := 1; s <= k; s++ {
+		t := times[s-1]
+		for _, c := range lower[s] {
+			if lb := times[c.u] - c.w; lb > t {
+				t = lb
+			}
+		}
+		times[s] = t
+		for _, c := range check[s] {
+			if times[c.u]-times[c.v] > c.w {
+				greedyOK = false
+				break greedy
+			}
+		}
+	}
+	if greedyOK {
+		return times, nil
+	}
+
+	// Exact fallback: Bellman–Ford from a virtual source connected to all
+	// variables with weight 0.
+	const inf = int64(1) << 60
+	dist := make([]int64, k+1)
+	for iter := 0; iter <= k+1; iter++ {
+		changed := false
+		for _, c := range cons {
+			// Edge v -> u with weight w: dist[u] <= dist[v] + w.
+			if d := dist[c.v] + c.w; d < dist[c.u] {
+				dist[c.u] = d
+				changed = true
+				if d < -inf {
+					return nil, fmt.Errorf("mc: concretization diverged (negative cycle)")
+				}
+			}
+		}
+		if !changed {
+			// Shift so T[0] = 0 and verify.
+			for i := range dist {
+				times[i] = dist[i] - dist[0]
+			}
+			for _, c := range cons {
+				if times[c.u]-times[c.v] > c.w {
+					return nil, fmt.Errorf("mc: internal error: Bellman–Ford solution violates constraint")
+				}
+			}
+			return times, nil
+		}
+	}
+	return nil, fmt.Errorf("mc: trace has inconsistent timing constraints (negative cycle)")
+}
+
+// FormatTrace renders a concretized trace, one timestamped transition per
+// line.
+func FormatTrace(sys *ta.System, steps []ConcreteStep) string {
+	out := ""
+	for _, s := range steps {
+		out += fmt.Sprintf("@%s %s\n", TimeString(s.Time), s.Trans.Format(sys))
+	}
+	return out
+}
+
+// ReplayDiscrete replays a symbolic trace and returns the location vector
+// and integer store after every step (index 0 is the initial state). It is
+// the building block for schedule projection and for validating traces.
+func ReplayDiscrete(sys *ta.System, trace []Transition) (locsAt [][]int32, envAt [][]int32, err error) {
+	if err := sys.Freeze(); err != nil {
+		return nil, nil, err
+	}
+	locs := make([]int32, len(sys.Automata))
+	for ai, a := range sys.Automata {
+		locs[ai] = int32(a.Init)
+	}
+	env := sys.Table.NewEnv()
+	snap := func() {
+		l := make([]int32, len(locs))
+		copy(l, locs)
+		e := make([]int32, len(env))
+		copy(e, env)
+		locsAt = append(locsAt, l)
+		envAt = append(envAt, e)
+	}
+	snap()
+	for si, t := range trace {
+		a1 := sys.Automata[t.A1]
+		e1 := &a1.Edges[t.E1]
+		var e2 *ta.Edge
+		if !t.Internal() {
+			e2 = &sys.Automata[t.A2].Edges[t.E2]
+		}
+		if int(locs[t.A1]) != e1.Src || (e2 != nil && int(locs[t.A2]) != e2.Src) {
+			return nil, nil, fmt.Errorf("mc: replay step %d: source location mismatch", si+1)
+		}
+		expr.ExecAll(e1.Assigns, env)
+		if e2 != nil {
+			expr.ExecAll(e2.Assigns, env)
+		}
+		locs[t.A1] = int32(e1.Dst)
+		if e2 != nil {
+			locs[t.A2] = int32(e2.Dst)
+		}
+		snap()
+	}
+	return locsAt, envAt, nil
+}

@@ -1,0 +1,289 @@
+package mc
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"guidedta/internal/ta"
+)
+
+func TestTimeString(t *testing.T) {
+	tests := []struct {
+		in   int64
+		want string
+	}{
+		{0, "0"}, {2, "1"}, {10, "5"}, {5, "2.5"}, {11, "5.5"},
+	}
+	for _, tt := range tests {
+		if got := TimeString(tt.in); got != tt.want {
+			t.Errorf("TimeString(%d) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestConcretizeEqualityTiming(t *testing.T) {
+	// t == 5 guards (the recipe pattern) pin firing times exactly.
+	s := ta.NewSystem("eq")
+	x := s.AddClock("x")
+	a := s.AddAutomaton("A")
+	l0 := a.AddLocation("l0", ta.Normal)
+	l1 := a.AddLocation("l1", ta.Normal)
+	l2 := a.AddLocation("l2", ta.Normal)
+	a.SetInvariant(l0, ta.LE(x, 5))
+	a.SetInvariant(l1, ta.LE(x, 3))
+	a.SetInit(l0)
+	a.Edge(l0, l1).When(ta.EQ(x, 5)...).Reset(x).Done()
+	a.Edge(l1, l2).When(ta.EQ(x, 3)...).Done()
+	goal := Goal{Locs: []LocRequirement{{0, l2}}}
+	res, err := Explore(s, goal, DefaultOptions(DFS))
+	if err != nil || !res.Found {
+		t.Fatalf("explore: %v found=%v", err, res.Found)
+	}
+	steps, err := Concretize(s, res.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps[0].Time != 5*Half || steps[1].Time != 8*Half {
+		t.Errorf("times %d,%d want 10,16", steps[0].Time, steps[1].Time)
+	}
+}
+
+func TestConcretizeStrictBoundsHalfUnits(t *testing.T) {
+	// x > 1 with invariant x < 2 has no integer solution but 1.5 works.
+	s := ta.NewSystem("strict")
+	x := s.AddClock("x")
+	a := s.AddAutomaton("A")
+	l0 := a.AddLocation("l0", ta.Normal)
+	l1 := a.AddLocation("l1", ta.Normal)
+	a.SetInvariant(l0, ta.LT(x, 2))
+	a.SetInit(l0)
+	a.Edge(l0, l1).When(ta.GT(x, 1)).Done()
+	goal := Goal{Locs: []LocRequirement{{0, l1}}}
+	res, err := Explore(s, goal, DefaultOptions(BFS))
+	if err != nil || !res.Found {
+		t.Fatalf("explore: %v found=%v", err, res.Found)
+	}
+	steps, err := Concretize(s, res.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Earliest half-unit time in (1,2) is 1.5.
+	if got := TimeString(steps[0].Time); got != "1.5" {
+		t.Errorf("strict-bound firing time %s, want 1.5", got)
+	}
+}
+
+func TestConcretizeGreedyFallback(t *testing.T) {
+	// Guard y<=1 && x>=5 at step 2 with y reset at step 1 forces step 1 to
+	// happen no earlier than t=4; the greedy earliest choice (t=0) fails
+	// and the Bellman–Ford fallback must produce a feasible schedule.
+	s := ta.NewSystem("fallback")
+	x := s.AddClock("x")
+	y := s.AddClock("y")
+	a := s.AddAutomaton("A")
+	l0 := a.AddLocation("l0", ta.Normal)
+	l1 := a.AddLocation("l1", ta.Normal)
+	l2 := a.AddLocation("l2", ta.Normal)
+	a.SetInit(l0)
+	a.Edge(l0, l1).Reset(y).Done()
+	a.Edge(l1, l2).When(ta.LE(y, 1), ta.GE(x, 5)).Done()
+	s.MustFreeze()
+	trace := []Transition{
+		{Chan: -1, A1: 0, E1: 0, A2: -1, E2: -1},
+		{Chan: -1, A1: 0, E1: 1, A2: -1, E2: -1},
+	}
+	steps, err := Concretize(s, trace)
+	if err != nil {
+		t.Fatalf("Concretize: %v", err)
+	}
+	t1, t2 := steps[0].Time, steps[1].Time
+	if t2-t1 > 1*Half {
+		t.Errorf("y<=1 violated: gap %d half units", t2-t1)
+	}
+	if t2 < 5*Half {
+		t.Errorf("x>=5 violated: t2=%d half units", t2)
+	}
+	if t1 > t2 {
+		t.Error("non-monotone schedule")
+	}
+}
+
+func TestConcretizeDiagonalGuard(t *testing.T) {
+	// x - y <= 2 where x resets at step 1 and y at step 2 bounds the gap
+	// between the two reset times... here y resets after x so x-y = T3-T1
+	// evaluated... exercise the diagonal branch for coverage and sanity.
+	s := ta.NewSystem("diag")
+	x := s.AddClock("x")
+	y := s.AddClock("y")
+	a := s.AddAutomaton("A")
+	l0 := a.AddLocation("l0", ta.Normal)
+	l1 := a.AddLocation("l1", ta.Normal)
+	l2 := a.AddLocation("l2", ta.Normal)
+	l3 := a.AddLocation("l3", ta.Normal)
+	a.SetInit(l0)
+	a.Edge(l0, l1).Reset(x).Done()
+	a.Edge(l1, l2).Reset(y).When(ta.GE(x, 3)).Done()
+	a.Edge(l2, l3).When(ta.Diff(x, y, ta.LE(x, 4).B)).Done() // x - y <= 4
+	goal := Goal{Locs: []LocRequirement{{0, l3}}}
+	res, err := Explore(s, goal, DefaultOptions(BFS))
+	if err != nil || !res.Found {
+		t.Fatalf("explore: %v found=%v", err, res.Found)
+	}
+	steps, err := Concretize(s, res.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x-y = T2 - T1 must be <= 4 and >= 3 (guard x>=3 at step 2).
+	gap := steps[1].Time - steps[0].Time
+	if gap < 3*Half || gap > 4*Half {
+		t.Errorf("reset gap %d half units, want in [6,8]", gap)
+	}
+}
+
+func TestSolveDifferenceConstraintsFallback(t *testing.T) {
+	// T2 >= 10 (T0-T2 <= -10) and T2-T1 <= 2: the greedy pass sets T1=0 and
+	// then hits the violated upper bound, so the exact solver must run.
+	cons := []diffConstraint{
+		{u: 0, v: 1, w: 0},   // T1 >= 0
+		{u: 1, v: 2, w: 0},   // T2 >= T1
+		{u: 2, v: 1, w: 2},   // T2 - T1 <= 2
+		{u: 0, v: 2, w: -10}, // T2 >= 10
+	}
+	times, err := solveDifferenceConstraints(2, cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if times[0] != 0 {
+		t.Errorf("T0 = %d, want 0", times[0])
+	}
+	for _, c := range cons {
+		if times[c.u]-times[c.v] > c.w {
+			t.Errorf("constraint T%d-T%d<=%d violated by %v", c.u, c.v, c.w, times)
+		}
+	}
+}
+
+func TestSolveDifferenceConstraintsInfeasible(t *testing.T) {
+	cons := []diffConstraint{
+		{u: 0, v: 1, w: -5}, // T1 >= 5
+		{u: 1, v: 0, w: 2},  // T1 <= 2
+	}
+	if _, err := solveDifferenceConstraints(1, cons); err == nil {
+		t.Error("infeasible system accepted")
+	}
+}
+
+func TestConcretizeRejectsBogusTrace(t *testing.T) {
+	s, _ := chainSystem(t)
+	s.MustFreeze()
+	// Edge 1 from the initial location is wrong (source is l1).
+	bogus := []Transition{{Chan: -1, A1: 0, E1: 1, A2: -1, E2: -1}}
+	if _, err := Concretize(s, bogus); err == nil {
+		t.Error("bogus trace accepted")
+	}
+}
+
+func TestConcretizeRejectsIntGuardViolation(t *testing.T) {
+	s := ta.NewSystem("ig")
+	s.AddClock("x")
+	s.Table.DeclareVar("n", 0)
+	a := s.AddAutomaton("A")
+	l0 := a.AddLocation("l0", ta.Normal)
+	l1 := a.AddLocation("l1", ta.Normal)
+	a.SetInit(l0)
+	a.Edge(l0, l1).Guard("n == 1").Done()
+	s.MustFreeze()
+	bogus := []Transition{{Chan: -1, A1: 0, E1: 0, A2: -1, E2: -1}}
+	if _, err := Concretize(s, bogus); err == nil ||
+		!strings.Contains(err.Error(), "integer guard") {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestReplayDiscrete(t *testing.T) {
+	s, goal := chainSystem(t)
+	res, err := Explore(s, goal, DefaultOptions(BFS))
+	if err != nil || !res.Found {
+		t.Fatal("explore failed")
+	}
+	locsAt, envAt, err := ReplayDiscrete(s, res.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(locsAt) != len(res.Trace)+1 || len(envAt) != len(locsAt) {
+		t.Fatalf("replay lengths %d/%d", len(locsAt), len(envAt))
+	}
+	if locsAt[0][0] != 0 || locsAt[1][0] != 1 || locsAt[2][0] != 2 {
+		t.Errorf("location sequence %v", locsAt)
+	}
+	// Replay of a bogus trace errors.
+	bogus := []Transition{{Chan: -1, A1: 0, E1: 1, A2: -1, E2: -1}}
+	if _, _, err := ReplayDiscrete(s, bogus); err == nil {
+		t.Error("bogus replay accepted")
+	}
+}
+
+func TestFormatTrace(t *testing.T) {
+	s, goal := chainSystem(t)
+	res, _ := Explore(s, goal, DefaultOptions(BFS))
+	steps, err := Concretize(s, res.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatTrace(s, steps)
+	if !strings.Contains(out, "@2 A.l0->l1") || !strings.Contains(out, "@5 A.l1->l2") {
+		t.Errorf("FormatTrace:\n%s", out)
+	}
+}
+
+func TestValidateConcrete(t *testing.T) {
+	s, goal := chainSystem(t)
+	res, err := Explore(s, goal, DefaultOptions(BFS))
+	if err != nil || !res.Found {
+		t.Fatal("explore failed")
+	}
+	steps, err := Concretize(s, res.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateConcrete(s, steps); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+	// Corrupt a timestamp: firing the first edge too early violates its
+	// guard x >= 2.
+	bad := append([]ConcreteStep{}, steps...)
+	bad[0].Time = 1 * Half
+	if err := ValidateConcrete(s, bad); err == nil {
+		t.Error("early firing accepted")
+	}
+	// Non-monotone times must also fail.
+	bad = append([]ConcreteStep{}, steps...)
+	bad[1].Time = steps[0].Time - 1
+	if err := ValidateConcrete(s, bad); err == nil {
+		t.Error("non-monotone schedule accepted")
+	}
+}
+
+// Property: on random models, every found trace concretizes to a schedule
+// that passes the independent validator.
+func TestConcretizeAlwaysValidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		sys, goal := randomSystem(rng)
+		res, err := Explore(sys, goal, DefaultOptions(DFS))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Found {
+			continue
+		}
+		steps, err := Concretize(sys, res.Trace)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := ValidateConcrete(sys, steps); err != nil {
+			t.Fatalf("trial %d: concretized schedule invalid: %v", trial, err)
+		}
+	}
+}

@@ -1,0 +1,319 @@
+package plant
+
+import (
+	"fmt"
+
+	"guidedta/internal/ta"
+)
+
+// batchLocs records the location indices of one batch automaton that other
+// builders and tests need.
+type batchLocs struct {
+	waiting  int
+	slot     [NumTracks + 1][TrackLen]int // [track][slot], track 1-based
+	treat    [NumMach + 1]int
+	lifting  [2]int // being lifted by crane c
+	carried  [2]int // on crane c
+	arr      [2][NumPts]int
+	buf      int
+	hold     int
+	casting0 int
+	casting  int
+	out      int
+	done     int
+}
+
+// pointLoc maps an overhead point to the batch location standing under it.
+func (l *batchLocs) pointLoc(p int) int {
+	switch p {
+	case PtEntry1:
+		return l.slot[1][SlotLoad]
+	case PtExit1:
+		return l.slot[1][SlotExit]
+	case PtEntry2:
+		return l.slot[2][SlotLoad]
+	case PtExit2:
+		return l.slot[2][SlotExit]
+	case PtBuffer:
+		return l.buf
+	case PtHold:
+		return l.hold
+	case PtCastOut:
+		return l.out
+	default:
+		panic(fmt.Sprintf("plant: point %d has no batch location", p))
+	}
+}
+
+// buildBatch constructs the batch automaton for batch index bi: the
+// topology-and-physics component of a ladle (the paper's Figure 9; the
+// guided fragment is Figure 4).
+func (b *builder) buildBatch(bi int) {
+	a := b.sys.AddAutomaton(fmt.Sprintf("Batch%d", bi))
+	ai := len(b.sys.Automata) - 1
+	b.p.BatchAuto = append(b.p.BatchAuto, ai)
+	x := b.batchClock[bi]
+	unit := fmt.Sprintf("Load%d", bi)
+	pm := b.cfg.Params
+
+	var L batchLocs
+	L.waiting = a.AddLocation("waiting", ta.Normal)
+	for tr := 1; tr <= NumTracks; tr++ {
+		for s := 0; s < TrackLen; s++ {
+			L.slot[tr][s] = a.AddLocation(fmt.Sprintf("t%ds%d", tr, s), ta.Normal)
+		}
+	}
+	for m := 1; m <= NumMach; m++ {
+		L.treat[m] = a.AddLocation(fmt.Sprintf("treat%d", m), ta.Normal)
+	}
+	for c := 0; c < 2; c++ {
+		L.lifting[c] = a.AddLocation(fmt.Sprintf("lifting%d", c+1), ta.Normal)
+		L.carried[c] = a.AddLocation(fmt.Sprintf("crane%d", c+1), ta.Normal)
+		for _, p := range droppablePoints {
+			L.arr[c][p] = a.AddLocation(fmt.Sprintf("arr%d_%d", c+1, p), ta.Normal)
+		}
+	}
+	L.buf = a.AddLocation("buf", ta.Normal)
+	L.hold = a.AddLocation("hold", ta.Normal)
+	L.casting0 = a.AddLocation("casting0", ta.Committed)
+	L.casting = a.AddLocation("casting", ta.Normal)
+	L.out = a.AddLocation("out", ta.Normal)
+	L.done = a.AddLocation("done", ta.Normal)
+	a.SetInit(L.waiting)
+
+	// Pouring: the batch appears at a free load point, synchronized with
+	// its recipe (which chooses the track).
+	for tr := 1; tr <= NumTracks; tr++ {
+		occ := trackOccArray(tr)
+		ei := a.Edge(L.waiting, L.slot[tr][SlotLoad]).
+			Guard(fmt.Sprintf("%s[0] == 0", occ)).
+			Sync(fmt.Sprintf("goT%d_%d", tr, bi), ta.Recv).
+			Assign(fmt.Sprintf("%s[0] := 1", occ)).
+			Done()
+		b.cmd(ai, ei, unit, fmt.Sprintf("PourTrack%d", tr), tr)
+	}
+
+	// Track moves: claim the destination slot, traverse for exactly BMove,
+	// release the source slot.
+	for tr := 1; tr <= NumTracks; tr++ {
+		occ := trackOccArray(tr)
+		for s := 0; s < TrackLen-1; s++ {
+			b.buildMove(a, ai, bi, &L, tr, s, s+1, occ, x, pm, unit)
+		}
+		for s := 1; s < TrackLen; s++ {
+			b.buildMove(a, ai, bi, &L, tr, s, s-1, occ, x, pm, unit)
+		}
+	}
+
+	// Machine treatments: the recipe drives on/off; while treating the
+	// batch cannot move.
+	for m := 1; m <= NumMach; m++ {
+		slotLoc := L.slot[MachineTrack(m)][MachineSlot(m)]
+		on := a.Edge(slotLoc, L.treat[m]).
+			Sync(fmt.Sprintf("mon_%d", bi), ta.Recv).
+			Done()
+		b.cmd(ai, on, unit, fmt.Sprintf("Machine%dOn", m), m)
+		off := a.Edge(L.treat[m], slotLoc).
+			Sync(fmt.Sprintf("moff_%d", bi), ta.Recv).
+			Done()
+		b.cmd(ai, off, unit, fmt.Sprintf("Machine%dOff", m), m)
+	}
+
+	// Crane pickups at liftable points (in guided models each crane only
+	// serves its work region).
+	for c := 0; c < 2; c++ {
+		for _, p := range b.liftPoints(c) {
+			e := a.Edge(L.pointLoc(p), L.lifting[c]).
+				Sync(fmt.Sprintf("lift%d_%d", c+1, p), ta.Send)
+			if b.guided {
+				switch p {
+				case PtEntry1, PtExit1:
+					e.Guard(offTrackExpr(bi, 1)).Note("guide: lift only when leaving track")
+				case PtEntry2, PtExit2:
+					e.Guard(offTrackExpr(bi, 2)).Note("guide: lift only when leaving track")
+				case PtBuffer:
+					e.Guard(fmt.Sprintf("next[%d] == cast && holdocc == 0 && castnext == %d", bi, bi)).
+						Note("guide: leave buffer only when it is this ladle's turn and the holding place is free")
+				}
+				e.Assign(fmt.Sprintf("wantlift[%d] := 0", p))
+			}
+			e.Done()
+		}
+	}
+
+	// Lift completion: the batch is now on the crane; in guided models it
+	// programs the crane's destination. Crane 1 stages cast-bound ladles
+	// into the buffer (the buffer-to-hold hop, three time units, always
+	// fits within one casting period — this keeps casting continuous);
+	// crane 2 moves them buffer-to-hold and empties to storage.
+	for c := 0; c < 2; c++ {
+		e := a.Edge(L.lifting[c], L.carried[c]).
+			Sync(fmt.Sprintf("lifted%d", c+1), ta.Recv)
+		if b.guided {
+			dest := fmt.Sprintf(
+				"cdest1 := (next[%d]<=3 ? 0 : (next[%d]<=5 ? 2 : %d))",
+				bi, bi, PtBuffer)
+			if c == 1 {
+				dest = fmt.Sprintf("cdest2 := (next[%d]==cast ? %d : %d)", bi, PtHold, PtStore)
+			}
+			e.Assign(dest).Note("guide: crane carrying a batch is steered by the batch")
+		}
+		e.Done()
+	}
+
+	// Set-downs: claim the landing slot, descend, arrive.
+	for c := 0; c < 2; c++ {
+		for _, p := range b.dropPoints(c) {
+			e := a.Edge(L.carried[c], L.arr[c][p]).
+				Sync(fmt.Sprintf("drop%d_%d", c+1, p), ta.Send)
+			if occ := pointOccLValue(p); occ != "" {
+				e.Guard(occ + " == 0").Assign(occ + " := 1")
+			}
+			if b.guided {
+				e.Guard(fmt.Sprintf("cdest%d == %d", c+1, p)).
+					Note("guide: set down only at the programmed destination")
+			}
+			e.Done()
+
+			arrive := a.Edge(L.arr[c][p], b.dropTarget(&L, p)).
+				Sync(fmt.Sprintf("dropped%d", c+1), ta.Recv)
+			switch p {
+			case PtEntry1, PtExit1:
+				if b.guided {
+					arrive.Assign(fmt.Sprintf("wantlift[%d] := (%s ? 1 : 0)", p, offTrackExpr(bi, 1)))
+				}
+			case PtEntry2, PtExit2:
+				if b.guided {
+					arrive.Assign(fmt.Sprintf("wantlift[%d] := (%s ? 1 : 0)", p, offTrackExpr(bi, 2)))
+				}
+			case PtBuffer:
+				if b.guided {
+					arrive.Assign(fmt.Sprintf("wantlift[%d] := (holdocc == 0 ? 1 : 0)", p))
+				}
+				if b.all {
+					arrive.Assign(fmt.Sprintf("progress[%d] := 1", bi))
+				}
+			case PtHold:
+				if b.all {
+					arrive.Assign(fmt.Sprintf("progress[%d] := 1", bi))
+				}
+			case PtStore:
+				arrive.Assign("stored := stored + 1")
+			}
+			arrive.Done()
+		}
+	}
+
+	// Casting: start (in production-list order), report to the recipe,
+	// wait for the cast to finish, then appear at the caster output as an
+	// empty ladle.
+	start := a.Edge(L.hold, L.casting0).
+		Guard(fmt.Sprintf("castnext == %d", bi)).
+		Sync("caststart", ta.Send).
+		Assign("castnext := castnext + 1, holdocc := 0")
+	if b.guided {
+		start.Assign("wantlift[4] := bufocc").
+			Note("guide: flag a buffered batch once the holding place frees")
+	}
+	if b.all && bi < b.n-1 {
+		// Casting must be continuous: commit to a cast only when the next
+		// ladle of the production list is already staged in the buffer (or
+		// holding) area, three time units from the holding place.
+		start.Guard(fmt.Sprintf("progress[%d] == 1", bi+1)).
+			Note("guide: cast only when the next ladle is staged nearby")
+	}
+	ei := start.Done()
+	b.cmd(ai, ei, "Caster", fmt.Sprintf("CastLoad%d", bi), bi)
+
+	a.Edge(L.casting0, L.casting).
+		Sync(fmt.Sprintf("atcast_%d", bi), ta.Send).
+		Done()
+
+	eject := a.Edge(L.casting, L.out).
+		Guard("outocc == 0").
+		Sync("castdone", ta.Recv).
+		Assign("outocc := 1")
+	if b.guided {
+		eject.Assign(fmt.Sprintf("next[%d] := store, wantlift[%d] := 1", bi, PtCastOut))
+	}
+	ei = eject.Done()
+	b.cmd(ai, ei, "Caster", fmt.Sprintf("EjectLoad%d", bi), bi)
+}
+
+// dropTarget maps a drop point to the batch location reached after the
+// crane finishes lowering (storage completes the batch).
+func (b *builder) dropTarget(L *batchLocs, p int) int {
+	if p == PtStore {
+		return L.done
+	}
+	return L.pointLoc(p)
+}
+
+// buildMove emits the two-edge claim/traverse pattern for one slot move.
+func (b *builder) buildMove(a *ta.Automaton, ai, bi int, L *batchLocs, tr, from, to int, occ string, x int, pm Params, unit string) {
+	dir := "Right"
+	suffix := "r"
+	if to < from {
+		dir = "Left"
+		suffix = "l"
+	}
+	transit := a.AddLocation(fmt.Sprintf("t%ds%d%s", tr, from, suffix), ta.Normal)
+	a.SetInvariant(transit, ta.LE(x, pm.BMove))
+
+	claim := a.Edge(L.slot[tr][from], transit).
+		Guard(fmt.Sprintf("%s[%d] == 0", occ, to)).
+		Assign(fmt.Sprintf("%s[%d] := 1", occ, to)).
+		Reset(x)
+	if m := MachineAtSlot(tr, from); m != 0 {
+		claim.Assign(fmt.Sprintf("atm[%d] := 0", bi))
+	}
+	if b.guided {
+		if from == SlotLoad || from == SlotExit {
+			claim.Assign(fmt.Sprintf("wantlift[%d] := 0", b.slotPoint(tr, from)))
+		}
+		claim.Guard(b.moveGuard(bi, tr, from, to)).Note("guide: move only along the direct route")
+	}
+	ei := claim.Done()
+	b.cmd(ai, ei, unit, fmt.Sprintf("Track%d%s", tr, dir), from)
+
+	arrive := a.Edge(transit, L.slot[tr][to]).
+		When(ta.GE(x, pm.BMove)).
+		Assign(fmt.Sprintf("%s[%d] := 0", occ, from))
+	if m := MachineAtSlot(tr, to); m != 0 {
+		arrive.Assign(fmt.Sprintf("atm[%d] := %d", bi, m))
+	}
+	if b.guided && (to == SlotLoad || to == SlotExit) {
+		arrive.Assign(fmt.Sprintf("wantlift[%d] := (%s ? 1 : 0)", b.slotPoint(tr, to), offTrackExpr(bi, tr)))
+	}
+	arrive.Done()
+}
+
+// slotPoint maps a track end slot to its overhead point.
+func (b *builder) slotPoint(tr, slot int) int {
+	if slot == SlotLoad {
+		return trackEntryPoint(tr)
+	}
+	return trackExitPoint(tr)
+}
+
+// moveGuard is the guided direct-route condition for a move from slot
+// `from` toward `to` on track tr (the paper's Figure 4 decoration: "next
+// must be m1 to move left of i2; next must be beyond the track to be picked
+// up").
+func (b *builder) moveGuard(bi, tr, from, to int) string {
+	var destSlot, offTrack string
+	if tr == 1 {
+		destSlot = fmt.Sprintf("(next[%d]==1 ? 1 : (next[%d]==2 ? 3 : 5))", bi, bi)
+		offTrack = fmt.Sprintf("next[%d] >= 4", bi)
+	} else {
+		destSlot = fmt.Sprintf("(next[%d]==4 ? 1 : 3)", bi)
+		offTrack = fmt.Sprintf("(next[%d] <= 3 || next[%d] >= 6)", bi, bi)
+	}
+	if to > from {
+		// Rightward: either the destination lies off this track (head for
+		// the exit) or it is a machine further right.
+		return fmt.Sprintf("(%s) || %s > %d", offTrack, destSlot, from)
+	}
+	// Leftward: only toward an on-track machine further left.
+	return fmt.Sprintf("!(%s) && %s < %d", offTrack, destSlot, from)
+}

@@ -1,0 +1,163 @@
+package plant
+
+import (
+	"fmt"
+
+	"guidedta/internal/ta"
+)
+
+// buildCrane constructs crane automaton ci (0 or 1; the paper's Figure 8).
+// A crane is empty or full at one of the eight overhead points; moves,
+// pickups, and set-downs take CMove/CUp/CDown time. Overhead occupancy
+// (cpos) prevents the cranes from passing each other. In guided models an
+// empty crane moves only toward a flagged pickup or to give way (creq), and
+// a full crane moves only toward the destination its batch programmed.
+func (b *builder) buildCrane(ci int) {
+	c := ci + 1 // 1-based crane id in names
+	a := b.sys.AddAutomaton(fmt.Sprintf("Crane%d", c))
+	ai := len(b.sys.Automata) - 1
+	b.p.CraneAuto[ci] = ai
+	x := b.craneClock[ci]
+	pm := b.cfg.Params
+	unit := fmt.Sprintf("Crane%d", c)
+
+	empty := make([]int, NumPts)
+	full := make([]int, NumPts)
+	for p := 0; p < NumPts; p++ {
+		empty[p] = a.AddLocation(fmt.Sprintf("e%d", p), ta.Normal)
+		full[p] = a.AddLocation(fmt.Sprintf("f%d", p), ta.Normal)
+	}
+	if ci == 0 {
+		a.SetInit(empty[PtEntry1])
+	} else {
+		a.SetInit(empty[PtStore])
+	}
+
+	// Movement edges, both load states and directions, within the crane's
+	// work region (a guide; the whole track when unguided).
+	lo, hi := b.craneRange(ci)
+	for p := lo; p <= hi; p++ {
+		for _, to := range []int{p - 1, p + 1} {
+			if to < lo || to > hi {
+				continue
+			}
+			b.buildCraneMove(a, ai, ci, empty, p, to, x, pm, unit, false)
+			b.buildCraneMove(a, ai, ci, full, p, to, x, pm, unit, true)
+		}
+	}
+
+	// Pickups: receive the batch's lift request, hoist for CUp, then free
+	// the landing position. (The hoisting delay is the one whose omission
+	// was the paper's modeling error #1.)
+	for _, p := range b.liftPoints(ci) {
+		hoist := a.AddLocation(fmt.Sprintf("hoist%d", p), ta.Normal)
+		a.SetInvariant(hoist, ta.LE(x, pm.CUp))
+		ei := a.Edge(empty[p], hoist).
+			Sync(fmt.Sprintf("lift%d_%d", c, p), ta.Recv).
+			Reset(x).
+			Done()
+		b.cmd(ai, ei, unit, "PickupAt"+PointName(p), p)
+		done := a.Edge(hoist, full[p]).
+			When(ta.GE(x, pm.CUp)).
+			Sync(fmt.Sprintf("lifted%d", c), ta.Send).
+			Assign(pointOccLValue(p) + " := 0")
+		if b.guided {
+			done.Assign("creqby := " + fmt.Sprint(c)).
+				Note("guide: ask the other crane to give way while loaded")
+		}
+		done.Done()
+	}
+
+	// Set-downs: receive the batch's drop request, lower for CDown.
+	for _, p := range b.dropPoints(ci) {
+		lower := a.AddLocation(fmt.Sprintf("lower%d", p), ta.Normal)
+		a.SetInvariant(lower, ta.LE(x, pm.CDown))
+		ei := a.Edge(full[p], lower).
+			Sync(fmt.Sprintf("drop%d_%d", c, p), ta.Recv).
+			Reset(x).
+			Done()
+		b.cmd(ai, ei, unit, "PutdownAt"+PointName(p), p)
+		done := a.Edge(lower, empty[p]).
+			When(ta.GE(x, pm.CDown)).
+			Sync(fmt.Sprintf("dropped%d", c), ta.Send)
+		if b.guided {
+			done.Assign("creqby := 0")
+		}
+		done.Done()
+	}
+}
+
+// buildCraneMove emits one claim/traverse move of a crane.
+func (b *builder) buildCraneMove(a *ta.Automaton, ai, ci int, locs []int, from, to, x int, pm Params, unit string, loaded bool) {
+	c := ci + 1
+	dir := "Right"
+	if to < from {
+		dir = "Left"
+	}
+	state := "e"
+	if loaded {
+		state = "f"
+	}
+	transit := a.AddLocation(fmt.Sprintf("%s%dmv%d", state, from, to), ta.Normal)
+	a.SetInvariant(transit, ta.LE(x, pm.CMove))
+
+	claim := a.Edge(locs[from], transit).
+		Guard(fmt.Sprintf("cpos[%d] == 0", to)).
+		Assign(fmt.Sprintf("cpos[%d] := 1", to)).
+		Reset(x)
+	if b.guided {
+		if loaded {
+			cmp := ">"
+			if to < from {
+				cmp = "<"
+			}
+			claim.Guard(fmt.Sprintf("cdest%d %s %d", c, cmp, from)).
+				Note("guide: loaded crane moves only toward its destination")
+		} else if ci == 0 && from == PtBuffer && to < from {
+			// Crane 1 may always vacate the shared buffer point leftward;
+			// otherwise it would park there after a drop and lock crane 2
+			// out of the buffer.
+			claim.Note("guide: vacate the shared buffer point")
+		} else {
+			// Give-way moves are directional: the cranes cannot pass each
+			// other, so crane 1 only ever needs to yield leftward and
+			// crane 2 rightward.
+			away := (ci == 0 && to < from) || (ci == 1 && to > from)
+			g := fmt.Sprintf("%s > 0", b.wantliftSum(ci, from, to))
+			if away {
+				g = fmt.Sprintf("(%s) || (creqby != 0 && creqby != %d)", g, c)
+			}
+			claim.Guard(g).
+				Note("guide: empty crane moves only toward work or to give way")
+		}
+	}
+	ei := claim.Done()
+	b.cmd(ai, ei, unit, "Move"+dir, from)
+
+	a.Edge(transit, locs[to]).
+		When(ta.GE(x, pm.CMove)).
+		Assign(fmt.Sprintf("cpos[%d] := 0", from)).
+		Done()
+}
+
+// wantliftSum is the guide expression summing the wantlift flags in the
+// movement direction (strictly beyond the current position, within the
+// crane's serviceable points).
+func (b *builder) wantliftSum(ci, from, to int) string {
+	s := ""
+	add := func(p int) {
+		if s != "" {
+			s += "+"
+		}
+		s += fmt.Sprintf("wantlift[%d]", p)
+	}
+	for _, p := range b.liftPoints(ci) {
+		if (to > from && p > from) || (to < from && p < from) {
+			add(p)
+		}
+	}
+	if s == "" {
+		s = "0"
+	}
+	return s
+}

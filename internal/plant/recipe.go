@@ -1,0 +1,131 @@
+package plant
+
+import (
+	"fmt"
+
+	"guidedta/internal/ta"
+)
+
+// buildRecipe constructs the recipe automaton for batch bi (the paper's
+// Figure 7): it decides which machine types are visited, for how long, and
+// measures the batch's total time in the plant against the temperature
+// deadline. In guided models the recipe is also where the `next`
+// destination guide and (with all guides) the `nextbatch` start-order guide
+// are computed.
+func (b *builder) buildRecipe(bi int) {
+	q := b.cfg.Qualities[bi]
+	stages := b.cfg.Params.Stages(q)
+	a := b.sys.AddAutomaton(fmt.Sprintf("Recipe%d_%s", bi, qualityName(q)))
+	b.p.RecipeAuto = append(b.p.RecipeAuto, len(b.sys.Automata)-1)
+
+	t := b.treatClock[bi]
+	tot := b.totalClock[bi]
+	dl := b.cfg.Params.Deadline
+
+	idle := a.AddLocation("idle", ta.Normal)
+	a.SetInit(idle)
+	goLoc := make([]int, len(stages))
+	onLoc := make([]int, len(stages))
+	for k, st := range stages {
+		goLoc[k] = a.AddLocation(fmt.Sprintf("go%d", k), ta.Normal)
+		a.SetInvariant(goLoc[k], ta.LE(tot, dl))
+		onLoc[k] = a.AddLocation(fmt.Sprintf("on%d", k), ta.Normal)
+		a.SetInvariant(onLoc[k], ta.LE(t, st.Time), ta.LE(tot, dl))
+	}
+	tocast := a.AddLocation("tocast", ta.Normal)
+	a.SetInvariant(tocast, ta.LE(tot, dl))
+	casted := a.AddLocation("casted", ta.Normal)
+
+	// Pouring: choose the track of the first treatment. Guided models pick
+	// the emptier track (the paper's first guide expression); unguided
+	// models offer both tracks nondeterministically. Recipes whose first
+	// stage can only run on one track (m3) only get that track's edge.
+	first := stages[0]
+	for tr := 1; tr <= NumTracks; tr++ {
+		m := machineOnTrack(first, tr)
+		if m == 0 {
+			continue
+		}
+		e := a.Edge(idle, goLoc[0]).
+			Sync(fmt.Sprintf("goT%d_%d", tr, bi), ta.Send).
+			Reset(tot)
+		if b.guided {
+			e.Assign(fmt.Sprintf("next[%d] := %d", bi, m)).
+				Note("guide: head for the chosen first machine")
+			if len(first.Machines) > 1 {
+				cmp := "<="
+				if tr == 2 {
+					cmp = ">"
+				}
+				e.Guard(fmt.Sprintf("%s %s %s", trackSum(1), cmp, trackSum(2))).
+					Note("guide: start on the emptier track")
+			}
+		}
+		if b.all {
+			// Pour in production-list order, and pace pours to the
+			// caster's progress: a batch may start at most PourLookahead
+			// casts ahead, preventing queue build-up that would break the
+			// temperature deadline deep in the search (the paper's
+			// "starting a batch based on the progress of the batch just
+			// before it", keyed here to casting progress).
+			e.Guard(fmt.Sprintf("nextbatch == %d && castnext > %d", bi, bi-b.lookahead())).
+				Note("guide: pour in order, paced by casting progress")
+		}
+		e.Done()
+	}
+
+	// Treatment stages: turn the machine on when the batch stands at an
+	// acceptable machine, run for exactly the stage time, turn it off.
+	for k, st := range stages {
+		last := k == len(stages)-1
+		for _, m := range st.Machines {
+			on := a.Edge(goLoc[k], onLoc[k]).
+				Guard(fmt.Sprintf("atm[%d] == %d", bi, m)).
+				Sync(fmt.Sprintf("mon_%d", bi), ta.Send).
+				Reset(t)
+			if b.all && last {
+				// The paper delays the nextbatch update until the batch
+				// just ahead starts its final treatment.
+				on.Assign("nextbatch := nextbatch + 1").
+					Note("guide: release the next batch")
+			}
+			on.Done()
+		}
+		off := a.Edge(onLoc[k], targetAfter(k, len(stages), goLoc, tocast)).
+			When(ta.EQ(t, st.Time)...).
+			Sync(fmt.Sprintf("moff_%d", bi), ta.Send)
+		if b.guided {
+			if last {
+				off.Assign(fmt.Sprintf("next[%d] := cast", bi))
+			} else {
+				off.Assign(fmt.Sprintf("next[%d] := %s", bi, stageChoiceExpr(stages[k+1], bi, true))).
+					Note("guide: choose the next machine on the emptier track")
+			}
+		}
+		off.Done()
+	}
+
+	// The batch reports the start of its cast; the deadline clock stops
+	// mattering once casting has begun.
+	a.Edge(tocast, casted).
+		Sync(fmt.Sprintf("atcast_%d", bi), ta.Recv).
+		Done()
+}
+
+// machineOnTrack returns the stage's machine on the given track, or 0.
+func machineOnTrack(st Stage, track int) int {
+	for _, m := range st.Machines {
+		if MachineTrack(m) == track {
+			return m
+		}
+	}
+	return 0
+}
+
+// targetAfter returns the location following stage k.
+func targetAfter(k, total int, goLoc []int, tocast int) int {
+	if k == total-1 {
+		return tocast
+	}
+	return goLoc[k+1]
+}

@@ -1,0 +1,155 @@
+// Package rcx implements the control-program target language: a small
+// RCX-style byte-code (modeled on the LEGO MINDSTORMS RCX 2.0 SDK opcodes
+// the paper's Figure 6 uses — SendPBMessage, SetVar, SumVar, While, If,
+// Wait, ClearPBMessage, PlaySystemSound) together with an interpreter. The
+// language deliberately has no procedure calls (the RCX code of the paper
+// had to in-line everything) and communicates over an unreliable broadcast
+// message port.
+package rcx
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op is an RCX opcode.
+type Op int
+
+// Opcodes.
+const (
+	OpPlaySound Op = iota
+	OpSendPBMessage
+	OpClearPBMessage
+	OpSetVar
+	OpSumVar
+	OpWait
+	OpWhile
+	OpEndWhile
+	OpIf
+	OpEndIf
+	OpHalt
+)
+
+var opNames = map[Op]string{
+	OpPlaySound:      "PB.PlaySystemSound",
+	OpSendPBMessage:  "PB.SendPBMessage",
+	OpClearPBMessage: "PB.ClearPBMessage",
+	OpSetVar:         "PB.SetVar",
+	OpSumVar:         "PB.SumVar",
+	OpWait:           "PB.Wait",
+	OpWhile:          "PB.While",
+	OpEndWhile:       "PB.EndWhile",
+	OpIf:             "PB.If",
+	OpEndIf:          "PB.EndIf",
+	OpHalt:           "PB.Halt",
+}
+
+// Source types for operands (the RCX SDK encoding).
+const (
+	SrcVar     = 0  // variable slot
+	SrcConst   = 2  // immediate constant
+	SrcMessage = 15 // the last received port message
+)
+
+// Relational operators for While/If (the RCX SDK encoding).
+const (
+	RelGT = 0
+	RelLT = 1
+	RelEQ = 2
+	RelNE = 3
+)
+
+var relNames = [4]string{">", "<", "==", "!="}
+
+// Instr is one instruction. Operand meaning by opcode:
+//
+//	PlaySound sound
+//	SendPBMessage srcType, value
+//	SetVar var, srcType, value
+//	SumVar var, srcType, value
+//	Wait srcType, value            (value in ticks)
+//	While src1,v1, rel, src2,v2
+//	If    src1,v1, rel, src2,v2
+type Instr struct {
+	Op      Op
+	Args    []int
+	Comment string
+}
+
+// String renders the instruction in the paper's Figure 6 style.
+func (i Instr) String() string {
+	parts := make([]string, len(i.Args))
+	for k, a := range i.Args {
+		parts[k] = fmt.Sprintf("%d", a)
+	}
+	s := opNames[i.Op]
+	if len(parts) > 0 {
+		s += " " + strings.Join(parts, ", ")
+	}
+	if i.Comment != "" {
+		s = fmt.Sprintf("%-34s ' %s", s, i.Comment)
+	}
+	return s
+}
+
+// Program is an executable instruction sequence.
+type Program []Instr
+
+// String renders the whole program with nesting indentation.
+func (p Program) String() string {
+	var sb strings.Builder
+	indent := 0
+	for _, in := range p {
+		if in.Op == OpEndWhile || in.Op == OpEndIf {
+			indent--
+		}
+		if indent < 0 {
+			indent = 0
+		}
+		sb.WriteString(strings.Repeat("  ", indent))
+		sb.WriteString(in.String())
+		sb.WriteByte('\n')
+		if in.Op == OpWhile || in.Op == OpIf {
+			indent++
+		}
+	}
+	return sb.String()
+}
+
+// Validate checks that While/EndWhile and If/EndIf nest properly and that
+// operand counts match opcodes.
+func (p Program) Validate() error {
+	var stack []Op
+	argc := map[Op]int{
+		OpPlaySound: 1, OpSendPBMessage: 2, OpClearPBMessage: 0,
+		OpSetVar: 3, OpSumVar: 3, OpWait: 2,
+		OpWhile: 5, OpEndWhile: 0, OpIf: 5, OpEndIf: 0, OpHalt: 0,
+	}
+	for idx, in := range p {
+		want, ok := argc[in.Op]
+		if !ok {
+			return fmt.Errorf("rcx: instr %d: unknown opcode %d", idx, in.Op)
+		}
+		if len(in.Args) != want {
+			return fmt.Errorf("rcx: instr %d: %s takes %d args, got %d", idx, opNames[in.Op], want, len(in.Args))
+		}
+		switch in.Op {
+		case OpWhile, OpIf:
+			stack = append(stack, in.Op)
+		case OpEndWhile:
+			if len(stack) == 0 || stack[len(stack)-1] != OpWhile {
+				return fmt.Errorf("rcx: instr %d: EndWhile without While", idx)
+			}
+			stack = stack[:len(stack)-1]
+		case OpEndIf:
+			if len(stack) == 0 || stack[len(stack)-1] != OpIf {
+				return fmt.Errorf("rcx: instr %d: EndIf without If", idx)
+			}
+			stack = stack[:len(stack)-1]
+		}
+	}
+	if len(stack) != 0 {
+		return fmt.Errorf("rcx: unclosed %v blocks", len(stack))
+	}
+	return nil
+}

@@ -1,0 +1,175 @@
+package rcx
+
+import (
+	"strings"
+	"testing"
+)
+
+// fakePort is a perfect loopback port that acks every send with the same
+// message after a configurable number of reads.
+type fakePort struct {
+	sent     []int
+	buf      int
+	ackAfter int
+	reads    int
+}
+
+func (p *fakePort) Send(msg int) {
+	p.sent = append(p.sent, msg)
+	p.reads = 0
+}
+func (p *fakePort) Read() int {
+	p.reads++
+	if len(p.sent) > 0 && p.reads > p.ackAfter {
+		p.buf = p.sent[len(p.sent)-1]
+	}
+	return p.buf
+}
+func (p *fakePort) Clear() { p.buf = 0 }
+
+// fakeClock accumulates slept ticks.
+type fakeClock struct{ ticks int }
+
+func (c *fakeClock) Sleep(t int) { c.ticks += t }
+
+func TestVMArithmeticAndBlocks(t *testing.T) {
+	prog := Program{
+		{Op: OpSetVar, Args: []int{0, SrcConst, 5}},
+		{Op: OpWhile, Args: []int{SrcVar, 0, RelGT, SrcConst, 0}},
+		{Op: OpSumVar, Args: []int{1, SrcConst, 2}},
+		{Op: OpSumVar, Args: []int{0, SrcConst, -1}},
+		{Op: OpEndWhile},
+		{Op: OpIf, Args: []int{SrcVar, 1, RelEQ, SrcConst, 10}},
+		{Op: OpSetVar, Args: []int{2, SrcConst, 99}},
+		{Op: OpEndIf},
+		{Op: OpIf, Args: []int{SrcVar, 1, RelNE, SrcConst, 10}},
+		{Op: OpSetVar, Args: []int{3, SrcConst, 1}},
+		{Op: OpEndIf},
+	}
+	vm := &VM{Prog: prog, Port: &fakePort{}, Clock: &fakeClock{}}
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if vm.Var(1) != 10 {
+		t.Errorf("var1 = %d, want 10 (loop ran 5 times)", vm.Var(1))
+	}
+	if vm.Var(2) != 99 {
+		t.Errorf("taken If branch not executed")
+	}
+	if vm.Var(3) != 0 {
+		t.Errorf("untaken If branch executed")
+	}
+}
+
+func TestVMWait(t *testing.T) {
+	clk := &fakeClock{}
+	vm := &VM{
+		Prog: Program{
+			{Op: OpWait, Args: []int{SrcConst, 120}},
+			{Op: OpSetVar, Args: []int{0, SrcConst, 7}},
+			{Op: OpWait, Args: []int{SrcVar, 0}},
+		},
+		Port: &fakePort{}, Clock: clk,
+	}
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if clk.ticks != 127 {
+		t.Errorf("slept %d ticks, want 127", clk.ticks)
+	}
+}
+
+func TestVMSendAckLoop(t *testing.T) {
+	// The Figure 6 pattern: send, then loop reading the message buffer
+	// until the acknowledgement (echo of the code) arrives.
+	const code = 42
+	prog := Program{
+		{Op: OpSendPBMessage, Args: []int{SrcConst, code}},
+		{Op: OpSetVar, Args: []int{1, SrcMessage, 0}},
+		{Op: OpWhile, Args: []int{SrcVar, 1, RelNE, SrcConst, code}},
+		{Op: OpWait, Args: []int{SrcConst, 20}},
+		{Op: OpSetVar, Args: []int{1, SrcMessage, 0}},
+		{Op: OpEndWhile},
+	}
+	port := &fakePort{ackAfter: 3}
+	vm := &VM{Prog: prog, Port: port, Clock: &fakeClock{}}
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(port.sent) != 1 || port.sent[0] != code {
+		t.Errorf("sent = %v", port.sent)
+	}
+	if vm.Var(1) != code {
+		t.Errorf("ack not received: var1 = %d", vm.Var(1))
+	}
+}
+
+func TestVMHaltAndStepLimit(t *testing.T) {
+	vm := &VM{
+		Prog: Program{
+			{Op: OpHalt},
+			{Op: OpSetVar, Args: []int{0, SrcConst, 1}},
+		},
+		Port: &fakePort{}, Clock: &fakeClock{},
+	}
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if vm.Var(0) != 0 {
+		t.Error("instruction after Halt executed")
+	}
+
+	loop := &VM{
+		Prog: Program{
+			{Op: OpWhile, Args: []int{SrcConst, 1, RelEQ, SrcConst, 1}},
+			{Op: OpEndWhile},
+		},
+		Port: &fakePort{}, Clock: &fakeClock{}, MaxSteps: 1000,
+	}
+	if err := loop.Run(); err == nil {
+		t.Error("infinite loop not caught by step limit")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Program{
+		{{Op: OpEndWhile}},
+		{{Op: OpWhile, Args: []int{0, 0, 0, 0, 0}}},
+		{{Op: OpIf, Args: []int{0, 0, 0, 0, 0}}, {Op: OpEndWhile}},
+		{{Op: OpSetVar, Args: []int{1}}},
+		{{Op: Op(99)}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad program %d accepted", i)
+		}
+	}
+	good := Program{
+		{Op: OpWhile, Args: []int{SrcConst, 0, RelEQ, SrcConst, 0}},
+		{Op: OpIf, Args: []int{SrcConst, 1, RelEQ, SrcConst, 1}},
+		{Op: OpEndIf},
+		{Op: OpEndWhile},
+	}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good program rejected: %v", err)
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	p := Program{
+		{Op: OpSendPBMessage, Args: []int{SrcConst, 99}, Comment: "Move up, on C1"},
+		{Op: OpWhile, Args: []int{SrcVar, 1, RelNE, SrcConst, 99}},
+		{Op: OpWait, Args: []int{SrcConst, 20}},
+		{Op: OpEndWhile},
+	}
+	s := p.String()
+	if !strings.Contains(s, "PB.SendPBMessage 2, 99") {
+		t.Errorf("missing send line:\n%s", s)
+	}
+	if !strings.Contains(s, "' Move up, on C1") {
+		t.Errorf("missing comment:\n%s", s)
+	}
+	if !strings.Contains(s, "  PB.Wait") {
+		t.Errorf("missing nesting indent:\n%s", s)
+	}
+}

@@ -1,0 +1,161 @@
+package rcx
+
+import (
+	"fmt"
+)
+
+// Port is the RCX infrared message port as seen by one brick: broadcast
+// send, last-received-message read, and clear. Implementations decide
+// reliability (the simulator's port drops and delays messages; tests can
+// use a perfect port).
+type Port interface {
+	// Send broadcasts a one-byte-style message (we allow wider ints).
+	Send(msg int)
+	// Read returns the last received message, or 0 when the buffer is
+	// empty (the RCX convention).
+	Read() int
+	// Clear empties the receive buffer.
+	Clear()
+}
+
+// Clock advances virtual time for Wait instructions.
+type Clock interface {
+	// Sleep blocks the executing brick for the given number of ticks.
+	Sleep(ticks int)
+}
+
+// VM interprets a Program against a Port and a Clock. It is deliberately
+// small: 32 variable slots like the RCX, no tasks, no subroutines.
+type VM struct {
+	Prog  Program
+	Port  Port
+	Clock Clock
+	// MaxSteps bounds execution (0 = 10 million) so that runaway ack loops
+	// terminate in tests.
+	MaxSteps int
+
+	vars [32]int
+	pc   int
+}
+
+// Var returns the value of variable slot v.
+func (m *VM) Var(v int) int { return m.vars[v] }
+
+// Run executes the program to completion.
+func (m *VM) Run() error {
+	if err := m.Prog.Validate(); err != nil {
+		return err
+	}
+	limit := m.MaxSteps
+	if limit == 0 {
+		limit = 10_000_000
+	}
+	m.pc = 0
+	steps := 0
+	for m.pc < len(m.Prog) {
+		steps++
+		if steps > limit {
+			return fmt.Errorf("rcx: execution exceeded %d steps at pc=%d", limit, m.pc)
+		}
+		in := m.Prog[m.pc]
+		switch in.Op {
+		case OpPlaySound:
+			// Audible only on real hardware.
+		case OpSendPBMessage:
+			m.Port.Send(m.operand(in.Args[0], in.Args[1]))
+		case OpClearPBMessage:
+			m.Port.Clear()
+		case OpSetVar:
+			m.vars[in.Args[0]] = m.operand(in.Args[1], in.Args[2])
+		case OpSumVar:
+			m.vars[in.Args[0]] += m.operand(in.Args[1], in.Args[2])
+		case OpWait:
+			m.Clock.Sleep(m.operand(in.Args[0], in.Args[1]))
+		case OpWhile:
+			if !m.compare(in.Args) {
+				m.pc = m.matchEnd(m.pc, OpWhile, OpEndWhile)
+			}
+		case OpEndWhile:
+			m.pc = m.matchStart(m.pc, OpWhile, OpEndWhile) - 1
+		case OpIf:
+			if !m.compare(in.Args) {
+				m.pc = m.matchEnd(m.pc, OpIf, OpEndIf)
+			}
+		case OpEndIf:
+			// no-op
+		case OpHalt:
+			return nil
+		default:
+			return fmt.Errorf("rcx: bad opcode %d at pc=%d", in.Op, m.pc)
+		}
+		m.pc++
+	}
+	return nil
+}
+
+// operand resolves a (srcType, value) pair.
+func (m *VM) operand(srcType, value int) int {
+	switch srcType {
+	case SrcVar:
+		return m.vars[value]
+	case SrcConst:
+		return value
+	case SrcMessage:
+		return m.Port.Read()
+	default:
+		panic(fmt.Sprintf("rcx: bad source type %d", srcType))
+	}
+}
+
+// compare evaluates a 5-operand condition src1,v1, rel, src2,v2.
+func (m *VM) compare(args []int) bool {
+	a := m.operand(args[0], args[1])
+	b := m.operand(args[3], args[4])
+	switch args[2] {
+	case RelGT:
+		return a > b
+	case RelLT:
+		return a < b
+	case RelEQ:
+		return a == b
+	case RelNE:
+		return a != b
+	default:
+		panic(fmt.Sprintf("rcx: bad relop %d", args[2]))
+	}
+}
+
+// matchEnd finds the index of the matching end opcode for the block opened
+// at pc.
+func (m *VM) matchEnd(pc int, open, close Op) int {
+	depth := 0
+	for i := pc; i < len(m.Prog); i++ {
+		switch m.Prog[i].Op {
+		case open:
+			depth++
+		case close:
+			depth--
+			if depth == 0 {
+				return i
+			}
+		}
+	}
+	panic("rcx: unmatched block (Validate should have caught this)")
+}
+
+// matchStart finds the index of the matching open opcode for the end at pc.
+func (m *VM) matchStart(pc int, open, close Op) int {
+	depth := 0
+	for i := pc; i >= 0; i-- {
+		switch m.Prog[i].Op {
+		case close:
+			depth++
+		case open:
+			depth--
+			if depth == 0 {
+				return i
+			}
+		}
+	}
+	panic("rcx: unmatched block (Validate should have caught this)")
+}

@@ -1,0 +1,99 @@
+package schedule
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"guidedta/internal/mc"
+)
+
+// Gantt renders the schedule as an ASCII Gantt chart, one row per unit,
+// one column per `scale` model time units. Instant commands mark a `|`;
+// the span between a Machine…On and its Machine…Off is filled, as is the
+// span between a Caster.CastLoad and the matching EjectLoad.
+func (s Schedule) Gantt(scale int64) string {
+	if len(s.Lines) == 0 {
+		return "(empty schedule)\n"
+	}
+	if scale <= 0 {
+		scale = 1
+	}
+	step := scale * mc.Half
+	width := int(s.Horizon/step) + 2
+
+	type row struct {
+		name  string
+		cells []byte
+	}
+	rows := map[string]*row{}
+	var order []string
+	get := func(name string) *row {
+		if r, ok := rows[name]; ok {
+			return r
+		}
+		r := &row{name: name, cells: []byte(strings.Repeat(".", width))}
+		rows[name] = r
+		order = append(order, name)
+		return r
+	}
+	col := func(t int64) int {
+		c := int(t / step)
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+
+	// Track open spans per unit (machine treatments, casts).
+	open := map[string]int64{}
+	spanKey := func(l Line) (string, bool, bool) {
+		act := l.Cmd.Action
+		switch {
+		case strings.HasPrefix(act, "Machine") && strings.HasSuffix(act, "On"):
+			return fmt.Sprintf("%s/m%d", l.Cmd.Unit, l.Cmd.Arg), true, false
+		case strings.HasPrefix(act, "Machine") && strings.HasSuffix(act, "Off"):
+			return fmt.Sprintf("%s/m%d", l.Cmd.Unit, l.Cmd.Arg), false, true
+		case strings.HasPrefix(act, "CastLoad"):
+			return "Caster", true, false
+		case strings.HasPrefix(act, "EjectLoad"):
+			return "Caster", false, true
+		}
+		return "", false, false
+	}
+
+	for _, l := range s.Lines {
+		r := get(l.Cmd.Unit)
+		c := col(l.Time)
+		if r.cells[c] == '.' {
+			r.cells[c] = '|'
+		} else {
+			r.cells[c] = '+'
+		}
+		if key, opens, closes := spanKey(l); key != "" {
+			switch {
+			case opens:
+				open[key] = l.Time
+			case closes:
+				if from, ok := open[key]; ok {
+					target := get(strings.SplitN(key, "/", 2)[0])
+					for cc := col(from) + 1; cc < col(l.Time); cc++ {
+						if target.cells[cc] == '.' {
+							target.cells[cc] = '='
+						}
+					}
+					delete(open, key)
+				}
+			}
+		}
+	}
+
+	sort.Strings(order)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-8s 0%s%s\n", "", strings.Repeat(" ", width-len(fmt.Sprint(s.Horizon/mc.Half))), mc.TimeString(s.Horizon))
+	for _, name := range order {
+		fmt.Fprintf(&sb, "%-8s %s\n", name, rows[name].cells)
+	}
+	fmt.Fprintf(&sb, "(one column = %d time unit(s); '|' command, '=' running, '+' coincident)\n", scale)
+	return sb.String()
+}

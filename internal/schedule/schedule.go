@@ -1,0 +1,137 @@
+// Package schedule projects concretized model traces onto plant schedules:
+// the timestamped command lists of the paper's Table 2 ("Delay(5)",
+// "Load1.Track1Right", "Crane1.Move1Left", ...). A schedule is the
+// intermediate form between a diagnostic trace and a synthesized control
+// program; the projection drops the synchronizations that are irrelevant
+// for plant control (the paper used gawk scripts for this step).
+package schedule
+
+import (
+	"fmt"
+	"strings"
+
+	"guidedta/internal/mc"
+	"guidedta/internal/plant"
+)
+
+// Line is one command of a schedule with its absolute issue time (in the
+// concretizer's half time units).
+type Line struct {
+	Time int64
+	Cmd  plant.Command
+}
+
+// Schedule is a timestamped command sequence for the plant.
+type Schedule struct {
+	Lines []Line
+	// Horizon is the time of the last command (half units).
+	Horizon int64
+	// Batches is the number of batches scheduled.
+	Batches int
+}
+
+// FromTrace projects a concretized trace onto the plant commands registered
+// by the model builder. Transitions without a command (pure model
+// bookkeeping such as move completions or recipe steps) are dropped,
+// exactly like the paper's projection step.
+func FromTrace(p *plant.Plant, steps []mc.ConcreteStep) Schedule {
+	s := Schedule{Batches: p.NumBatches()}
+	for _, st := range steps {
+		emit := func(auto, edge int) {
+			if auto < 0 {
+				return
+			}
+			if cmd, ok := p.Command(auto, edge); ok {
+				s.Lines = append(s.Lines, Line{Time: st.Time, Cmd: cmd})
+				if st.Time > s.Horizon {
+					s.Horizon = st.Time
+				}
+			}
+		}
+		emit(st.Trans.A1, st.Trans.E1)
+		emit(st.Trans.A2, st.Trans.E2)
+	}
+	return s
+}
+
+// Format renders the schedule in the paper's Table 2 style: a Delay(d) line
+// whenever time advances, then the commands issued at that instant.
+// Delays are printed in model time units (halves rendered as ".5").
+func (s Schedule) Format() string {
+	var sb strings.Builder
+	var now int64
+	for _, l := range s.Lines {
+		if d := l.Time - now; d > 0 {
+			fmt.Fprintf(&sb, "Delay(%s)\n", mc.TimeString(d))
+			now = l.Time
+		}
+		fmt.Fprintf(&sb, "%s\n", l.Cmd)
+	}
+	return sb.String()
+}
+
+// FormatAnnotated renders the schedule with absolute timestamps, useful for
+// debugging and for EXPERIMENTS.md listings.
+func (s Schedule) FormatAnnotated() string {
+	var sb strings.Builder
+	for _, l := range s.Lines {
+		fmt.Fprintf(&sb, "@%s\t%s\n", mc.TimeString(l.Time), l.Cmd)
+	}
+	return sb.String()
+}
+
+// CommandsForUnit filters the schedule to one unit's commands.
+func (s Schedule) CommandsForUnit(unit string) []Line {
+	var out []Line
+	for _, l := range s.Lines {
+		if l.Cmd.Unit == unit {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// Units lists the distinct units addressed by the schedule, in first-use
+// order.
+func (s Schedule) Units() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, l := range s.Lines {
+		if !seen[l.Cmd.Unit] {
+			seen[l.Cmd.Unit] = true
+			out = append(out, l.Cmd.Unit)
+		}
+	}
+	return out
+}
+
+// Validate performs structural sanity checks a valid plant schedule must
+// satisfy: monotone timestamps and, per batch, machines switched on/off
+// alternately. It returns nil for the empty schedule.
+func (s Schedule) Validate() error {
+	var last int64
+	on := make(map[string]string) // unit -> machine currently on
+	for i, l := range s.Lines {
+		if l.Time < last {
+			return fmt.Errorf("schedule: line %d: time goes backwards (%d < %d)", i, l.Time, last)
+		}
+		last = l.Time
+		act := l.Cmd.Action
+		switch {
+		case strings.HasPrefix(act, "Machine") && strings.HasSuffix(act, "On"):
+			if prev, busy := on[l.Cmd.Unit]; busy {
+				return fmt.Errorf("schedule: line %d: %s turned on while %s is on", i, act, prev)
+			}
+			on[l.Cmd.Unit] = act
+		case strings.HasPrefix(act, "Machine") && strings.HasSuffix(act, "Off"):
+			if _, busy := on[l.Cmd.Unit]; !busy {
+				return fmt.Errorf("schedule: line %d: %s without a matching on", i, act)
+			}
+			delete(on, l.Cmd.Unit)
+		}
+	}
+	if len(on) > 0 {
+		return fmt.Errorf("schedule: machines left on at end: %v", on)
+	}
+	return nil
+}

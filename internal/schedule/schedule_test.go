@@ -1,0 +1,173 @@
+package schedule
+
+import (
+	"strings"
+	"testing"
+
+	"guidedta/internal/mc"
+	"guidedta/internal/plant"
+)
+
+// traceFor builds a 2-batch guided plant and returns its concretized
+// schedule ingredients.
+func traceFor(t *testing.T) (*plant.Plant, []mc.ConcreteStep) {
+	t.Helper()
+	p, err := plant.Build(plant.Config{
+		Qualities: []plant.Quality{plant.Q1, plant.Q2},
+		Guides:    plant.AllGuides,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := mc.DefaultOptions(mc.DFS)
+	opts.Priority = p.Priority
+	res, err := mc.Explore(p.Sys, p.Goal, opts)
+	if err != nil || !res.Found {
+		t.Fatalf("explore: %v found=%v", err, res.Found)
+	}
+	steps, err := mc.Concretize(p.Sys, res.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, steps
+}
+
+func TestFromTraceProjectsCommands(t *testing.T) {
+	p, steps := traceFor(t)
+	s := FromTrace(p, steps)
+	if len(s.Lines) == 0 {
+		t.Fatal("empty schedule")
+	}
+	if s.Batches != 2 {
+		t.Errorf("Batches = %d", s.Batches)
+	}
+	// The projection keeps strictly fewer events than the raw trace
+	// (bookkeeping transitions are dropped), and times stay monotone.
+	if len(s.Lines) >= len(steps)*2 {
+		t.Errorf("projection did not drop anything: %d lines from %d steps", len(s.Lines), len(steps))
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Horizon <= 0 {
+		t.Error("horizon not set")
+	}
+}
+
+func TestFormatLooksLikeTable2(t *testing.T) {
+	p, steps := traceFor(t)
+	s := FromTrace(p, steps)
+	out := s.Format()
+	for _, want := range []string{"Delay(", "Load0.", "Crane1.", "Caster.CastLoad0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 2 style output missing %q:\n%s", want, out)
+		}
+	}
+	// A Delay line never starts the schedule at time zero twice in a row.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	for i := 1; i < len(lines); i++ {
+		if strings.HasPrefix(lines[i], "Delay(") && strings.HasPrefix(lines[i-1], "Delay(") {
+			t.Error("consecutive Delay lines")
+		}
+	}
+	ann := s.FormatAnnotated()
+	if !strings.Contains(ann, "@0\t") {
+		t.Errorf("annotated format missing timestamps:\n%s", ann)
+	}
+}
+
+func TestUnitsAndFiltering(t *testing.T) {
+	p, steps := traceFor(t)
+	s := FromTrace(p, steps)
+	units := s.Units()
+	has := func(u string) bool {
+		for _, x := range units {
+			if x == u {
+				return true
+			}
+		}
+		return false
+	}
+	for _, want := range []string{"Load0", "Load1", "Crane1", "Crane2", "Caster"} {
+		if !has(want) {
+			t.Errorf("unit %s missing from %v", want, units)
+		}
+	}
+	only := s.CommandsForUnit("Crane2")
+	if len(only) == 0 {
+		t.Fatal("no Crane2 commands")
+	}
+	for _, l := range only {
+		if l.Cmd.Unit != "Crane2" {
+			t.Errorf("filter leaked %v", l.Cmd)
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	p, steps := traceFor(t)
+	s := FromTrace(p, steps)
+
+	// Reversed time.
+	bad := Schedule{Lines: []Line{{Time: 10, Cmd: plant.Command{Unit: "X", Action: "Y"}}, {Time: 5, Cmd: plant.Command{Unit: "X", Action: "Y"}}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("reversed time accepted")
+	}
+
+	// Double machine-on.
+	var on Line
+	for _, l := range s.Lines {
+		if strings.HasSuffix(l.Cmd.Action, "On") && strings.HasPrefix(l.Cmd.Action, "Machine") {
+			on = l
+			break
+		}
+	}
+	if on.Cmd.Unit == "" {
+		t.Fatal("no machine-on line found")
+	}
+	dup := Schedule{Lines: []Line{on, {Time: on.Time + 1, Cmd: on.Cmd}}}
+	if err := dup.Validate(); err == nil {
+		t.Error("double machine-on accepted")
+	}
+
+	// On without off at end.
+	single := Schedule{Lines: []Line{on}}
+	if err := single.Validate(); err == nil {
+		t.Error("machine left on accepted")
+	}
+
+	// Off without on.
+	off := on
+	off.Cmd.Action = strings.Replace(on.Cmd.Action, "On", "Off", 1)
+	orphan := Schedule{Lines: []Line{off}}
+	if err := orphan.Validate(); err == nil {
+		t.Error("orphan machine-off accepted")
+	}
+
+	// The empty schedule is trivially valid.
+	if err := (Schedule{}).Validate(); err != nil {
+		t.Errorf("empty schedule rejected: %v", err)
+	}
+}
+
+func TestGantt(t *testing.T) {
+	p, steps := traceFor(t)
+	s := FromTrace(p, steps)
+	g := s.Gantt(2)
+	if !strings.Contains(g, "Caster") || !strings.Contains(g, "Load0") || !strings.Contains(g, "Crane1") {
+		t.Errorf("gantt missing rows:\n%s", g)
+	}
+	if !strings.Contains(g, "|") {
+		t.Errorf("gantt has no command marks:\n%s", g)
+	}
+	if !strings.Contains(g, "=") {
+		t.Errorf("gantt has no running spans (machine treatments should fill):\n%s", g)
+	}
+	if (Schedule{}).Gantt(1) != "(empty schedule)\n" {
+		t.Error("empty schedule rendering")
+	}
+	// Degenerate scale falls back to 1.
+	if g0 := s.Gantt(0); !strings.Contains(g0, "Caster") {
+		t.Error("scale 0 not handled")
+	}
+}

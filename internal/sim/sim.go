@@ -1,0 +1,258 @@
+// Package sim is a deterministic discrete-event simulator of the LEGO
+// MINDSTORMS batch plant of the paper's Section 6 — the repository's
+// substitute for the physical plant. It executes synthesized RCX control
+// programs: the central controller runs in an rcx.VM whose message port is
+// an unreliable broadcast medium (configurable loss, delivery delay, and
+// duplicate suppression, like the RCX infrared link); the distributed
+// units (two machine tracks, two cranes, the caster) execute received
+// commands against a shared physical world. Safety monitors watch the
+// world and report violations — the mechanism by which the paper found its
+// three modeling errors.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"guidedta/internal/plant"
+	"guidedta/internal/rcx"
+	"guidedta/internal/synth"
+)
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Params are the plant's REAL timing constants (which may differ from
+	// the constants the schedule was synthesized against — that mismatch
+	// is how worn batteries broke the original programs).
+	Params plant.Params
+	// TicksPerUnit converts model time units to simulator ticks; it must
+	// match the synthesizer's setting (default 100).
+	TicksPerUnit int
+	// LossProb is the per-message loss probability of the IR link in each
+	// direction (default 0; set >0 to exercise the retry protocol).
+	LossProb float64
+	// CommDelay is the message delivery latency in ticks (default 1).
+	CommDelay int
+	// SpeedMargin makes physical actions complete at worst-case duration ×
+	// (1 - margin); the model uses worst-case times (as the paper's model
+	// does), so a real plant is slightly faster, and the margin absorbs
+	// communication drift (default 0.05).
+	SpeedMargin float64
+	// ContinuitySlack is the tolerated casting gap in model time units
+	// before the continuity monitor reports a violation (default: the
+	// plant's TurnTime window plus 2 units of communication drift).
+	ContinuitySlack int
+	// DeadlineSlack is the tolerated pour-to-cast overshoot in model time
+	// units (default 2).
+	DeadlineSlack int
+	// Seed drives the lossy channel; runs are deterministic per seed.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Params == (plant.Params{}) {
+		c.Params = plant.DefaultParams()
+	}
+	if c.TicksPerUnit == 0 {
+		c.TicksPerUnit = 100
+	}
+	if c.CommDelay == 0 {
+		c.CommDelay = 1
+	}
+	if c.SpeedMargin == 0 {
+		c.SpeedMargin = 0.05
+	}
+	if c.ContinuitySlack == 0 {
+		c.ContinuitySlack = int(c.Params.TurnTime) + 2
+	}
+	if c.DeadlineSlack == 0 {
+		c.DeadlineSlack = 2
+	}
+	return c
+}
+
+// Violation is a safety-monitor finding.
+type Violation struct {
+	Time int64 // ticks
+	Kind string
+	Msg  string
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	return fmt.Sprintf("t=%d [%s] %s", v.Time, v.Kind, v.Msg)
+}
+
+// Report is the outcome of one run.
+type Report struct {
+	Violations   []Violation
+	Stored       int   // ladles that reached storage
+	CastOrder    []int // ladle ids in cast-start order
+	EndTime      int64 // ticks at program completion
+	MessagesSent int
+	MessagesLost int
+}
+
+// OK reports whether the run completed without violations and every ladle
+// was stored.
+func (r Report) OK(wantLadles int) bool {
+	return len(r.Violations) == 0 && r.Stored == wantLadles
+}
+
+// Sim is one simulation instance. Create with New, run with Run.
+type Sim struct {
+	cfg   Config
+	codec *synth.Codec
+	prog  rcx.Program
+	n     int // ladles
+
+	now    int64
+	events eventQueue
+	seq    int
+	rng    *rand.Rand
+	world  *world
+	report Report
+
+	// IR medium state: the central's receive buffer.
+	centralBuf int
+}
+
+// New creates a simulator for a synthesized program. n is the number of
+// ladles the production list contains.
+func New(prog rcx.Program, codec *synth.Codec, n int, cfg Config) *Sim {
+	cfg = cfg.withDefaults()
+	s := &Sim{
+		cfg:   cfg,
+		codec: codec,
+		prog:  prog,
+		n:     n,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+	s.world = newWorld(s)
+	return s
+}
+
+// Run executes the central program to completion and returns the report.
+func (s *Sim) Run() (Report, error) {
+	vm := &rcx.VM{Prog: s.prog, Port: (*centralPort)(s), Clock: (*simClock)(s)}
+	if err := vm.Run(); err != nil {
+		return s.report, fmt.Errorf("sim: central controller: %w", err)
+	}
+	// Drain outstanding physical actions.
+	s.advance(s.now + int64(10*s.cfg.TicksPerUnit))
+	s.world.finalChecks()
+	s.report.EndTime = s.now
+	return s.report, nil
+}
+
+// violate records a monitor finding.
+func (s *Sim) violate(kind, format string, args ...any) {
+	s.report.Violations = append(s.report.Violations, Violation{
+		Time: s.now, Kind: kind, Msg: fmt.Sprintf(format, args...),
+	})
+}
+
+// ticksFor converts a worst-case model duration to real action ticks,
+// applying the speed margin.
+func (s *Sim) ticksFor(units int32) int64 {
+	t := float64(units) * float64(s.cfg.TicksPerUnit) * (1 - s.cfg.SpeedMargin)
+	if t < 1 {
+		t = 1
+	}
+	return int64(t)
+}
+
+// event is a scheduled callback.
+type event struct {
+	at  int64
+	seq int
+	fn  func()
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// after schedules fn at now+delay ticks.
+func (s *Sim) after(delay int64, fn func()) {
+	s.seq++
+	heap.Push(&s.events, event{at: s.now + delay, seq: s.seq, fn: fn})
+}
+
+// advance runs the event queue up to target time.
+func (s *Sim) advance(target int64) {
+	for len(s.events) > 0 && s.events[0].at <= target {
+		e := heap.Pop(&s.events).(event)
+		s.now = e.at
+		e.fn()
+	}
+	if target > s.now {
+		s.now = target
+	}
+}
+
+// simClock implements rcx.Clock by advancing the event queue.
+type simClock Sim
+
+func (c *simClock) Sleep(ticks int) {
+	s := (*Sim)(c)
+	if ticks < 0 {
+		ticks = 0
+	}
+	s.advance(s.now + int64(ticks))
+}
+
+// centralPort implements rcx.Port for the central controller over the
+// lossy broadcast medium.
+type centralPort Sim
+
+// Send broadcasts a command; each unit whose codec entry matches reacts.
+func (p *centralPort) Send(msg int) {
+	s := (*Sim)(p)
+	s.report.MessagesSent++
+	if s.rng.Float64() < s.cfg.LossProb {
+		s.report.MessagesLost++
+		return
+	}
+	cmd, ok := s.codec.Decode(msg)
+	if !ok {
+		s.violate("protocol", "unknown command code %d", msg)
+		return
+	}
+	s.after(int64(s.cfg.CommDelay), func() {
+		s.world.deliver(msg, cmd)
+	})
+}
+
+// Read returns the central's last received acknowledgement.
+func (p *centralPort) Read() int { return (*Sim)(p).centralBuf }
+
+// Clear empties the central's receive buffer.
+func (p *centralPort) Clear() { (*Sim)(p).centralBuf = 0 }
+
+// sendAck transmits a unit's acknowledgement back to the central
+// controller, subject to loss.
+func (s *Sim) sendAck(code int) {
+	s.report.MessagesSent++
+	if s.rng.Float64() < s.cfg.LossProb {
+		s.report.MessagesLost++
+		return
+	}
+	s.after(int64(s.cfg.CommDelay), func() { s.centralBuf = code })
+}

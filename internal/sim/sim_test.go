@@ -1,0 +1,275 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"guidedta/internal/mc"
+	"guidedta/internal/plant"
+	"guidedta/internal/rcx"
+	"guidedta/internal/schedule"
+	"guidedta/internal/synth"
+)
+
+// synthesizeFor runs the full Figure-1 pipeline up to the RCX program.
+func synthesizeFor(t *testing.T, cfg plant.Config) (*plant.Plant, schedule.Schedule, rcx.Program, *synth.Codec) {
+	t.Helper()
+	p, err := plant.Build(cfg)
+	if err != nil {
+		t.Fatalf("build plant: %v", err)
+	}
+	res, err := mc.Explore(p.Sys, p.Goal, mc.DefaultOptions(mc.DFS))
+	if err != nil {
+		t.Fatalf("explore: %v", err)
+	}
+	if !res.Found {
+		t.Fatalf("no schedule found: %v", res.Stats)
+	}
+	steps, err := mc.Concretize(p.Sys, res.Trace)
+	if err != nil {
+		t.Fatalf("concretize: %v", err)
+	}
+	sched := schedule.FromTrace(p, steps)
+	if err := sched.Validate(); err != nil {
+		t.Fatalf("schedule invalid: %v", err)
+	}
+	codec := synth.NewCodec(sched)
+	prog, err := synth.Program(sched, codec, synth.Options{})
+	if err != nil {
+		t.Fatalf("synthesize: %v", err)
+	}
+	return p, sched, prog, codec
+}
+
+func TestPipelineTwoBatchesPerfectLink(t *testing.T) {
+	cfg := plant.Config{Qualities: []plant.Quality{plant.Q1, plant.Q2}, Guides: plant.AllGuides}
+	p, sched, prog, codec := synthesizeFor(t, cfg)
+	if len(sched.Lines) == 0 {
+		t.Fatal("empty schedule")
+	}
+	s := New(prog, codec, p.NumBatches(), Config{Params: cfg.Params})
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatalf("sim run: %v", err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %v", v)
+	}
+	if rep.Stored != 2 {
+		t.Errorf("stored %d ladles, want 2", rep.Stored)
+	}
+	if len(rep.CastOrder) != 2 || rep.CastOrder[0] != 0 || rep.CastOrder[1] != 1 {
+		t.Errorf("cast order %v, want [0 1]", rep.CastOrder)
+	}
+}
+
+func TestPipelineLossyLink(t *testing.T) {
+	// The synthesized retry protocol must survive a lossy IR link.
+	cfg := plant.Config{Qualities: []plant.Quality{plant.Q2, plant.Q3}, Guides: plant.AllGuides}
+	p, _, prog, codec := synthesizeFor(t, cfg)
+	for _, seed := range []int64{1, 7, 42} {
+		// Moderate loss: the retry protocol recovers, at the cost of some
+		// timing drift, which the continuity monitor must tolerate.
+		s := New(prog, codec, p.NumBatches(), Config{
+			Params: cfg.Params, LossProb: 0.05, Seed: seed, ContinuitySlack: 6,
+		})
+		rep, err := s.Run()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !rep.OK(2) {
+			t.Errorf("seed %d: stored=%d violations=%v", seed, rep.Stored, rep.Violations)
+		}
+		if rep.MessagesLost == 0 {
+			t.Errorf("seed %d: loss configured but nothing lost (sent %d)", seed, rep.MessagesSent)
+		}
+	}
+}
+
+func TestPipelineThreeQualities(t *testing.T) {
+	cfg := plant.Config{
+		Qualities: []plant.Quality{plant.Q1, plant.Q2, plant.Q3},
+		Guides:    plant.AllGuides,
+	}
+	p, sched, prog, codec := synthesizeFor(t, cfg)
+	// The schedule must exercise both tracks or at least three machines.
+	txt := sched.Format()
+	if !strings.Contains(txt, "Machine") {
+		t.Error("schedule has no machine treatments")
+	}
+	s := New(prog, codec, p.NumBatches(), Config{Params: cfg.Params})
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK(3) {
+		t.Errorf("stored=%d violations=%v", rep.Stored, rep.Violations)
+	}
+}
+
+// TestModelingErrorWrongTiming reproduces the paper's battery scenario in
+// reverse: a program synthesized against WRONG (too fast) crane timing
+// fails in the plant, and re-synthesis with measured times fixes it.
+func TestModelingErrorWrongTiming(t *testing.T) {
+	fast := plant.DefaultParams()
+	fast.CUp, fast.CDown, fast.CMove = 0, 0, 0 // the missing pickup delay, error #1
+	cfgBad := plant.Config{
+		Qualities: []plant.Quality{plant.Q2},
+		Guides:    plant.AllGuides,
+		Params:    fast,
+	}
+	p, _, prog, codec := synthesizeFor(t, cfgBad)
+
+	// Run in a plant whose cranes really do take time.
+	real := plant.DefaultParams()
+	s := New(prog, codec, p.NumBatches(), Config{Params: real})
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) == 0 {
+		t.Fatal("expected violations from wrong timing, got none")
+	}
+	found := false
+	for _, v := range rep.Violations {
+		if v.Kind == "crane-busy" || v.Kind == "position" || v.Kind == "crane" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected a crane timing violation, got %v", rep.Violations)
+	}
+
+	// Re-synthesize with the measured times: the program now works.
+	cfgGood := cfgBad
+	cfgGood.Params = real
+	p2, _, prog2, codec2 := synthesizeFor(t, cfgGood)
+	s2 := New(prog2, codec2, p2.NumBatches(), Config{Params: real})
+	rep2, err := s2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.OK(1) {
+		t.Errorf("re-synthesized program still fails: %v", rep2.Violations)
+	}
+}
+
+// TestCorruptedScheduleCaught checks that the monitors catch hand-injected
+// schedule corruption (the validation role the physical plant played).
+func TestCorruptedScheduleCaught(t *testing.T) {
+	cfg := plant.Config{Qualities: []plant.Quality{plant.Q2}, Guides: plant.AllGuides}
+	p, sched, _, _ := synthesizeFor(t, cfg)
+
+	// Remove every delay: all commands issue at time 0.
+	rushed := sched
+	rushed.Lines = make([]schedule.Line, len(sched.Lines))
+	for i, l := range sched.Lines {
+		l.Time = 0
+		rushed.Lines[i] = l
+	}
+	codec := synth.NewCodec(rushed)
+	prog, err := synth.Program(rushed, codec, synth.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(prog, codec, p.NumBatches(), Config{Params: cfg.Params})
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) == 0 {
+		t.Error("rushed schedule produced no violations")
+	}
+}
+
+func TestReportHelpers(t *testing.T) {
+	r := Report{Stored: 2}
+	if !r.OK(2) || r.OK(3) {
+		t.Error("Report.OK wrong")
+	}
+	r.Violations = append(r.Violations, Violation{Time: 5, Kind: "x", Msg: "y"})
+	if r.OK(2) {
+		t.Error("Report.OK must fail with violations")
+	}
+	if !strings.Contains(r.Violations[0].String(), "[x]") {
+		t.Error("Violation.String format")
+	}
+}
+
+func TestPipelineMixedHardQualities(t *testing.T) {
+	// Q4 visits three machines including the track-1-only m3; Q5 runs its
+	// recipe in reverse order (B then A), forcing upstream track moves.
+	cfg := plant.Config{
+		Qualities: []plant.Quality{plant.Q4, plant.Q5},
+		Guides:    plant.AllGuides,
+	}
+	p, sched, prog, codec := synthesizeFor(t, cfg)
+	txt := sched.Format()
+	if !strings.Contains(txt, "Machine3On") {
+		t.Error("Q4 schedule never uses machine 3")
+	}
+	if !strings.Contains(txt, "Left") {
+		t.Error("Q5 should force at least one leftward track move")
+	}
+	s := New(prog, codec, p.NumBatches(), Config{Params: cfg.Params})
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK(2) {
+		t.Errorf("stored=%d violations=%v", rep.Stored, rep.Violations)
+	}
+}
+
+func TestMonitorPutdownOntoOccupied(t *testing.T) {
+	// Two ladles poured at the two track-1-side points, then a crane tries
+	// to stack one on the other via lift at entry2 and drop at entry1.
+	rep := runLines(t, 2, []schedule.Line{
+		cmd(0, "Load0", "PourTrack1", 1),
+		cmd(0, "Load1", "PourTrack2", 2),
+		cmd(2, "Crane1", "MoveRight", 0),
+		cmd(4, "Crane1", "MoveRight", 1),
+		cmd(6, "Crane1", "PickupAtEntry2", 2),
+		cmd(9, "Crane1", "MoveLeft", 2),
+		cmd(11, "Crane1", "MoveLeft", 1),
+		cmd(13, "Crane1", "PutdownAtEntry1", 0),
+	})
+	if !hasViolation(rep, "collision") {
+		t.Errorf("stacking two ladles not caught: %v", rep.Violations)
+	}
+}
+
+func TestMonitorPickupOfBusyLadle(t *testing.T) {
+	rep := runLines(t, 1, []schedule.Line{
+		cmd(0, "Load0", "PourTrack1", 1),
+		cmd(1, "Load0", "Track1Right", 0), // moving until t=3
+		cmd(2, "Crane1", "PickupAtEntry1", 0),
+	})
+	// Either the point is already empty or the ladle is mid-move;
+	// both are crane violations.
+	if !hasViolation(rep, "crane") {
+		t.Errorf("pickup of moving ladle not caught: %v", rep.Violations)
+	}
+}
+
+func TestMonitorCraneOffTrackAndWrongPosition(t *testing.T) {
+	rep := runLines(t, 1, []schedule.Line{
+		cmd(0, "Crane1", "MoveLeft", 0),  // off the left end
+		cmd(3, "Crane1", "MoveRight", 5), // crane is at 0, not 5
+	})
+	if !hasViolation(rep, "position") {
+		t.Errorf("bad crane moves not caught: %v", rep.Violations)
+	}
+}
+
+func TestMachineOffWrongLadle(t *testing.T) {
+	rep := runLines(t, 2, []schedule.Line{
+		cmd(0, "Load0", "PourTrack1", 1),
+		cmd(2, "Load0", "Track1Right", 0),
+		cmd(6, "Load0", "Machine1On", 1),
+		cmd(8, "Load1", "Machine1Off", 1), // wrong ladle's unit
+	})
+	if !hasViolation(rep, "treatment") {
+		t.Errorf("foreign machine-off not caught: %v", rep.Violations)
+	}
+}

@@ -1,0 +1,406 @@
+package sim
+
+import (
+	"strconv"
+	"strings"
+
+	"guidedta/internal/plant"
+)
+
+// Ladle locations in the physical world.
+const (
+	atUnpoured = iota
+	atTrack
+	onCrane
+	atBuffer
+	atHold
+	atCaster
+	atOut
+	atStore
+)
+
+type ladleState struct {
+	where       int
+	track, slot int
+	crane       int
+	moving      bool
+	treating    int // machine id while treated, 0 otherwise
+	pouredAt    int64
+	castStart   int64
+	castDone    bool
+}
+
+type craneState struct {
+	pos      int
+	carrying int // ladle id + 1, 0 when empty
+	busy     string
+	busyTo   int // target point while moving
+	busyEnd  int64
+}
+
+type casterState struct {
+	casting int // ladle id + 1
+	started int
+	lastEnd int64
+}
+
+// world is the shared physical state of the LEGO plant and its local unit
+// controllers.
+type world struct {
+	s      *Sim
+	track  [plant.NumTracks + 1][plant.TrackLen]int // ladle id+1
+	ladle  []ladleState
+	crane  [2]craneState
+	machOn [plant.NumMach + 1]int // ladle id+1
+	bufL   int
+	holdL  int
+	outL   int
+	caster casterState
+	// lastCode implements per-unit duplicate suppression: the retry
+	// protocol may retransmit a command until its acknowledgement gets
+	// through, and no unit is ever sent the same code twice in a row (the
+	// operand encodes the source position), so executing only on
+	// code change is exactly right.
+	lastCode map[string]int
+}
+
+func newWorld(s *Sim) *world {
+	w := &world{s: s, lastCode: make(map[string]int)}
+	w.ladle = make([]ladleState, s.n)
+	for i := range w.ladle {
+		w.ladle[i] = ladleState{where: atUnpoured, pouredAt: -1, castStart: -1}
+	}
+	w.crane[0].pos = plant.PtEntry1
+	w.crane[1].pos = plant.PtStore
+	w.caster.lastEnd = -1
+	return w
+}
+
+// deliver dispatches a received command to its unit, with per-unit
+// duplicate suppression (retransmissions re-acknowledge but do not
+// re-execute).
+func (w *world) deliver(code int, cmd plant.Command) {
+	if w.lastCode[cmd.Unit] == code {
+		w.s.sendAck(code)
+		return
+	}
+	w.lastCode[cmd.Unit] = code
+	w.s.sendAck(code)
+	w.execute(cmd)
+}
+
+// execute runs one command against the world, recording violations for
+// anything physically unsound.
+func (w *world) execute(cmd plant.Command) {
+	s := w.s
+	switch {
+	case strings.HasPrefix(cmd.Unit, "Load"):
+		b, err := strconv.Atoi(cmd.Unit[4:])
+		if err != nil || b < 0 || b >= s.n {
+			s.violate("protocol", "bad load unit %q", cmd.Unit)
+			return
+		}
+		w.loadCommand(b, cmd)
+	case strings.HasPrefix(cmd.Unit, "Crane"):
+		c, err := strconv.Atoi(cmd.Unit[5:])
+		if err != nil || c < 1 || c > 2 {
+			s.violate("protocol", "bad crane unit %q", cmd.Unit)
+			return
+		}
+		w.craneCommand(c-1, cmd)
+	case cmd.Unit == "Caster":
+		w.casterCommand(cmd)
+	default:
+		s.violate("protocol", "unknown unit %q", cmd.Unit)
+	}
+}
+
+func (w *world) loadCommand(b int, cmd plant.Command) {
+	s := w.s
+	l := &w.ladle[b]
+	act := cmd.Action
+	switch {
+	case strings.HasPrefix(act, "PourTrack"):
+		tr := cmd.Arg
+		if l.where != atUnpoured {
+			s.violate("pour", "ladle %d poured twice", b)
+			return
+		}
+		if w.track[tr][plant.SlotLoad] != 0 {
+			s.violate("collision", "pour onto occupied load point of track %d", tr)
+			return
+		}
+		w.track[tr][plant.SlotLoad] = b + 1
+		*l = ladleState{where: atTrack, track: tr, slot: plant.SlotLoad, pouredAt: s.now, castStart: -1}
+
+	case strings.HasPrefix(act, "Track"):
+		tr := int(act[5] - '0')
+		right := strings.HasSuffix(act, "Right")
+		from := cmd.Arg
+		to := from + 1
+		if !right {
+			to = from - 1
+		}
+		switch {
+		case l.where != atTrack || l.track != tr || l.slot != from || l.moving:
+			s.violate("position", "ladle %d not ready at track %d slot %d for %s", b, tr, from, act)
+		case l.treating != 0:
+			s.violate("treatment", "ladle %d moved while machine %d treats it", b, l.treating)
+		case to < 0 || to >= plant.TrackLen:
+			s.violate("position", "ladle %d driven off track %d", b, tr)
+		case w.track[tr][to] != 0:
+			s.violate("collision", "ladle %d driven into occupied slot %d of track %d (ladle %d)",
+				b, to, tr, w.track[tr][to]-1)
+		default:
+			l.moving = true
+			w.track[tr][to] = b + 1
+			s.after(s.ticksFor(s.cfg.Params.BMove), func() {
+				w.track[tr][from] = 0
+				l.slot = to
+				l.moving = false
+			})
+		}
+
+	case strings.HasPrefix(act, "Machine") && strings.HasSuffix(act, "On"):
+		m := cmd.Arg
+		switch {
+		case l.where != atTrack || l.moving ||
+			l.track != plant.MachineTrack(m) || l.slot != plant.MachineSlot(m):
+			s.violate("treatment", "machine %d switched on but ladle %d is not in it", m, b)
+		case w.machOn[m] != 0:
+			s.violate("treatment", "machine %d switched on twice (treating ladle %d)", m, w.machOn[m]-1)
+		default:
+			w.machOn[m] = b + 1
+			l.treating = m
+		}
+
+	case strings.HasPrefix(act, "Machine") && strings.HasSuffix(act, "Off"):
+		m := cmd.Arg
+		if w.machOn[m] != b+1 {
+			s.violate("treatment", "machine %d switched off but not treating ladle %d", m, b)
+			return
+		}
+		w.machOn[m] = 0
+		l.treating = 0
+
+	default:
+		s.violate("protocol", "unknown load action %q", act)
+	}
+}
+
+// pointLadle reads the ladle (id+1) standing at an overhead point, along
+// with a setter to clear/fill the spot.
+func (w *world) pointLadle(p int) (int, func(int)) {
+	switch p {
+	case plant.PtEntry1:
+		return w.track[1][plant.SlotLoad], func(v int) { w.track[1][plant.SlotLoad] = v }
+	case plant.PtExit1:
+		return w.track[1][plant.SlotExit], func(v int) { w.track[1][plant.SlotExit] = v }
+	case plant.PtEntry2:
+		return w.track[2][plant.SlotLoad], func(v int) { w.track[2][plant.SlotLoad] = v }
+	case plant.PtExit2:
+		return w.track[2][plant.SlotExit], func(v int) { w.track[2][plant.SlotExit] = v }
+	case plant.PtBuffer:
+		return w.bufL, func(v int) { w.bufL = v }
+	case plant.PtHold:
+		return w.holdL, func(v int) { w.holdL = v }
+	case plant.PtCastOut:
+		return w.outL, func(v int) { w.outL = v }
+	default: // storage is a sink with unlimited capacity
+		return 0, func(int) {}
+	}
+}
+
+// placeLadle updates a ladle's state after it lands at point p.
+func (w *world) placeLadle(b, p int) {
+	l := &w.ladle[b]
+	switch p {
+	case plant.PtEntry1, plant.PtExit1:
+		l.where, l.track = atTrack, 1
+		l.slot = map[int]int{plant.PtEntry1: plant.SlotLoad, plant.PtExit1: plant.SlotExit}[p]
+	case plant.PtEntry2, plant.PtExit2:
+		l.where, l.track = atTrack, 2
+		l.slot = map[int]int{plant.PtEntry2: plant.SlotLoad, plant.PtExit2: plant.SlotExit}[p]
+	case plant.PtBuffer:
+		l.where = atBuffer
+	case plant.PtHold:
+		l.where = atHold
+	case plant.PtCastOut:
+		l.where = atOut
+	case plant.PtStore:
+		l.where = atStore
+		w.s.report.Stored++
+	}
+}
+
+func (w *world) craneCommand(ci int, cmd plant.Command) {
+	s := w.s
+	cr := &w.crane[ci]
+	other := &w.crane[1-ci]
+	act := cmd.Action
+
+	if cr.busy != "" && s.now < cr.busyEnd {
+		// The paper's modeling error #1: a command arriving while the
+		// crane is still hoisting/lowering/moving means the schedule's
+		// timing is wrong.
+		s.violate("crane-busy", "crane %d received %s while still %s", ci+1, act, cr.busy)
+		return
+	}
+	cr.busy = ""
+
+	switch {
+	case act == "MoveRight" || act == "MoveLeft":
+		from := cmd.Arg
+		to := from + 1
+		if act == "MoveLeft" {
+			to = from - 1
+		}
+		switch {
+		case cr.pos != from:
+			s.violate("position", "crane %d asked to move from %d but is at %d", ci+1, from, cr.pos)
+		case to < 0 || to >= plant.NumPts:
+			s.violate("position", "crane %d driven off the overhead track", ci+1)
+		case other.pos == to || (other.busy == "move" && other.busyTo == to):
+			// The paper's modeling error #2: cranes started in the wrong
+			// order collide.
+			s.violate("crane-collision", "crane %d drives into crane %d at point %d", ci+1, 2-ci, to)
+		default:
+			cr.busy, cr.busyTo = "move", to
+			cr.busyEnd = s.now + s.ticksFor(s.cfg.Params.CMove)
+			s.after(s.ticksFor(s.cfg.Params.CMove), func() {
+				cr.pos, cr.busy = to, ""
+			})
+		}
+
+	case strings.HasPrefix(act, "PickupAt"):
+		p := cmd.Arg
+		occ, set := w.pointLadle(p)
+		switch {
+		case cr.pos != p:
+			s.violate("position", "crane %d pickup at %s but is at %d", ci+1, plant.PointName(p), cr.pos)
+		case cr.carrying != 0:
+			s.violate("crane", "crane %d pickup while already carrying ladle %d", ci+1, cr.carrying-1)
+		case occ == 0:
+			s.violate("crane", "crane %d pickup at empty point %s", ci+1, plant.PointName(p))
+		case w.ladle[occ-1].moving || w.ladle[occ-1].treating != 0:
+			s.violate("crane", "crane %d pickup of busy ladle %d", ci+1, occ-1)
+		default:
+			b := occ - 1
+			cr.busy = "hoist"
+			cr.busyEnd = s.now + s.ticksFor(s.cfg.Params.CUp)
+			s.after(s.ticksFor(s.cfg.Params.CUp), func() {
+				set(0)
+				cr.carrying = b + 1
+				cr.busy = ""
+				w.ladle[b].where, w.ladle[b].crane = onCrane, ci
+			})
+		}
+
+	case strings.HasPrefix(act, "PutdownAt"):
+		p := cmd.Arg
+		occ, set := w.pointLadle(p)
+		switch {
+		case cr.pos != p:
+			s.violate("position", "crane %d putdown at %s but is at %d", ci+1, plant.PointName(p), cr.pos)
+		case cr.carrying == 0:
+			s.violate("crane", "crane %d putdown while empty", ci+1)
+		case occ != 0 && p != plant.PtStore:
+			s.violate("collision", "crane %d putdown onto occupied %s (ladle %d)", ci+1, plant.PointName(p), occ-1)
+		default:
+			b := cr.carrying - 1
+			cr.busy = "lower"
+			cr.busyEnd = s.now + s.ticksFor(s.cfg.Params.CDown)
+			s.after(s.ticksFor(s.cfg.Params.CDown), func() {
+				cr.carrying = 0
+				cr.busy = ""
+				if p != plant.PtStore {
+					set(b + 1)
+				}
+				w.placeLadle(b, p)
+			})
+		}
+
+	default:
+		s.violate("protocol", "unknown crane action %q", act)
+	}
+}
+
+func (w *world) casterCommand(cmd plant.Command) {
+	s := w.s
+	b := cmd.Arg
+	if b < 0 || b >= s.n {
+		s.violate("protocol", "caster command for unknown ladle %d", b)
+		return
+	}
+	l := &w.ladle[b]
+	switch {
+	case strings.HasPrefix(cmd.Action, "CastLoad"):
+		switch {
+		case l.where != atHold:
+			s.violate("cast", "cast of ladle %d which is not in the holding place", b)
+		case w.caster.casting != 0:
+			s.violate("cast", "cast of ladle %d while ladle %d still in the caster", b, w.caster.casting-1)
+		default:
+			// Continuity: after the first cast, the caster must not idle
+			// longer than the slack (the paper's Section 2 requirement).
+			if w.caster.started > 0 && w.caster.lastEnd >= 0 {
+				gap := s.now - w.caster.lastEnd
+				if gap > int64(s.cfg.ContinuitySlack*s.cfg.TicksPerUnit) {
+					s.violate("continuity", "casting interrupted for %d ticks before ladle %d", gap, b)
+				}
+			}
+			if want := w.caster.started; want != b {
+				s.violate("order", "ladle %d cast out of order (expected ladle %d)", b, want)
+			}
+			limit := int64(s.cfg.Params.Deadline+int32(s.cfg.DeadlineSlack)) * int64(s.cfg.TicksPerUnit)
+			if l.pouredAt >= 0 && s.now-l.pouredAt > limit {
+				s.violate("deadline", "ladle %d cast %d ticks after pouring (limit %d)", b, s.now-l.pouredAt, limit)
+			}
+			w.holdL = 0
+			l.where = atCaster
+			l.castStart = s.now
+			w.caster.casting = b + 1
+			w.caster.started++
+			s.report.CastOrder = append(s.report.CastOrder, b)
+			s.after(s.ticksFor(s.cfg.Params.CastTime), func() {
+				l.castDone = true
+				w.caster.lastEnd = s.now
+			})
+		}
+
+	case strings.HasPrefix(cmd.Action, "EjectLoad"):
+		switch {
+		case w.caster.casting != b+1:
+			s.violate("cast", "eject of ladle %d which is not in the caster", b)
+		case !l.castDone:
+			s.violate("cast", "ladle %d ejected before its cast completed", b)
+		case w.outL != 0:
+			s.violate("collision", "eject onto occupied caster output (ladle %d)", w.outL-1)
+		default:
+			w.caster.casting = 0
+			w.outL = b + 1
+			l.where = atOut
+		}
+
+	default:
+		s.violate("protocol", "unknown caster action %q", cmd.Action)
+	}
+}
+
+// finalChecks runs end-of-program monitors.
+func (w *world) finalChecks() {
+	s := w.s
+	for m := 1; m <= plant.NumMach; m++ {
+		if w.machOn[m] != 0 {
+			s.violate("treatment", "machine %d left on at end of schedule", m)
+		}
+	}
+	if w.caster.casting != 0 && !w.ladle[w.caster.casting-1].castDone {
+		s.violate("cast", "schedule ended mid-cast of ladle %d", w.caster.casting-1)
+	}
+	for b := range w.ladle {
+		if w.ladle[b].where != atStore {
+			s.violate("incomplete", "ladle %d did not reach storage (state %d)", b, w.ladle[b].where)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"guidedta/internal/mc"
+	"guidedta/internal/plant"
+	"guidedta/internal/schedule"
+	"guidedta/internal/synth"
+)
+
+// runLines synthesizes and executes a hand-written command schedule in a
+// plant with n ladles and returns the report.
+func runLines(t *testing.T, n int, lines []schedule.Line) Report {
+	t.Helper()
+	s := schedule.Schedule{Lines: lines, Batches: n}
+	codec := synth.NewCodec(s)
+	prog, err := synth.Program(s, codec, synth.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := New(prog, codec, n, Config{}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func cmd(at int64, unit, action string, arg int) schedule.Line {
+	return schedule.Line{Time: at * mc.Half, Cmd: plant.Command{Unit: unit, Action: action, Arg: arg}}
+}
+
+func hasViolation(rep Report, kind string) bool {
+	for _, v := range rep.Violations {
+		if v.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+func TestMonitorPourTwice(t *testing.T) {
+	rep := runLines(t, 1, []schedule.Line{
+		cmd(0, "Load0", "PourTrack1", 1),
+		cmd(5, "Load0", "PourTrack2", 2),
+	})
+	if !hasViolation(rep, "pour") {
+		t.Errorf("double pour not caught: %v", rep.Violations)
+	}
+}
+
+func TestMonitorTrackCollision(t *testing.T) {
+	rep := runLines(t, 2, []schedule.Line{
+		cmd(0, "Load0", "PourTrack1", 1),
+		cmd(5, "Load0", "Track1Right", 0),
+		cmd(10, "Load1", "PourTrack1", 1),
+		// Ladle 1 driven into slot 1 where ladle 0 still stands.
+		cmd(12, "Load1", "Track1Right", 0),
+	})
+	if !hasViolation(rep, "collision") {
+		t.Errorf("track collision not caught: %v", rep.Violations)
+	}
+}
+
+func TestMonitorMoveDuringTreatment(t *testing.T) {
+	rep := runLines(t, 1, []schedule.Line{
+		cmd(0, "Load0", "PourTrack1", 1),
+		cmd(2, "Load0", "Track1Right", 0),
+		cmd(6, "Load0", "Machine1On", 1),
+		cmd(8, "Load0", "Track1Right", 1),
+	})
+	if !hasViolation(rep, "treatment") {
+		t.Errorf("move during treatment not caught: %v", rep.Violations)
+	}
+}
+
+func TestMonitorMachineWithoutLadle(t *testing.T) {
+	rep := runLines(t, 1, []schedule.Line{
+		cmd(0, "Load0", "Machine1On", 1), // nothing poured yet
+	})
+	if !hasViolation(rep, "treatment") {
+		t.Errorf("machine-on without ladle not caught: %v", rep.Violations)
+	}
+}
+
+func TestMonitorCraneBusy(t *testing.T) {
+	// Two crane moves issued with no time between them: the second arrives
+	// while the first is still in progress (the paper's error class #1).
+	rep := runLines(t, 1, []schedule.Line{
+		cmd(0, "Crane1", "MoveRight", 0),
+		cmd(0, "Crane1", "MoveRight", 1),
+	})
+	if !hasViolation(rep, "crane-busy") {
+		t.Errorf("command to busy crane not caught: %v", rep.Violations)
+	}
+}
+
+func TestMonitorCraneCollision(t *testing.T) {
+	// Crane 2 starts at Storage (7); crane 1 is driven right into it (the
+	// paper's error class #2: cranes started in the wrong order).
+	lines := []schedule.Line{}
+	for p := 0; p < 7; p++ {
+		lines = append(lines, cmd(int64(3*p), "Crane1", "MoveRight", p))
+	}
+	rep := runLines(t, 1, lines)
+	if !hasViolation(rep, "crane-collision") {
+		t.Errorf("crane collision not caught: %v", rep.Violations)
+	}
+}
+
+func TestMonitorPickupAtEmptyPoint(t *testing.T) {
+	rep := runLines(t, 1, []schedule.Line{
+		cmd(0, "Crane1", "PickupAtEntry1", 0),
+	})
+	if !hasViolation(rep, "crane") {
+		t.Errorf("pickup at empty point not caught: %v", rep.Violations)
+	}
+}
+
+func TestMonitorCastOutOfPlace(t *testing.T) {
+	rep := runLines(t, 1, []schedule.Line{
+		cmd(0, "Load0", "PourTrack1", 1),
+		cmd(2, "Caster", "CastLoad0", 0), // ladle is on the track, not in holding
+	})
+	if !hasViolation(rep, "cast") {
+		t.Errorf("cast of out-of-place ladle not caught: %v", rep.Violations)
+	}
+}
+
+func TestMonitorIncompleteRun(t *testing.T) {
+	rep := runLines(t, 1, []schedule.Line{
+		cmd(0, "Load0", "PourTrack1", 1),
+	})
+	if !hasViolation(rep, "incomplete") {
+		t.Errorf("unfinished ladle not caught: %v", rep.Violations)
+	}
+	if rep.Stored != 0 {
+		t.Errorf("Stored = %d", rep.Stored)
+	}
+}
+
+func TestDuplicateSuppressionAcks(t *testing.T) {
+	// With a perfectly reliable link the dedup path is still exercised by
+	// synthesizing two identical commands back to back: the second must be
+	// acked but not executed (no "pour twice" violation would be wrong
+	// here — dedup means the duplicate is dropped).
+	s := schedule.Schedule{Lines: []schedule.Line{
+		cmd(0, "Load0", "PourTrack1", 1),
+		cmd(2, "Load0", "PourTrack1", 1),
+	}, Batches: 1}
+	codec := synth.NewCodec(s)
+	prog, err := synth.Program(s, codec, synth.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := New(prog, codec, 1, Config{}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hasViolation(rep, "pour") {
+		t.Errorf("duplicate command executed despite suppression: %v", rep.Violations)
+	}
+}
+
+func TestViolationTimestamps(t *testing.T) {
+	rep := runLines(t, 1, []schedule.Line{
+		cmd(10, "Load0", "Machine1On", 1),
+	})
+	if len(rep.Violations) == 0 {
+		t.Fatal("expected violations")
+	}
+	if rep.Violations[0].Time < 10*100/mc.Half {
+		t.Errorf("violation at tick %d, expected after the 10-unit delay", rep.Violations[0].Time)
+	}
+	if !strings.Contains(rep.Violations[0].Msg, "machine 1") {
+		t.Errorf("message %q not descriptive", rep.Violations[0].Msg)
+	}
+}

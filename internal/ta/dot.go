@@ -1,0 +1,61 @@
+package ta
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDot renders one automaton as a Graphviz digraph, the repository's
+// way of drawing the paper's appendix figures. Invariants appear inside
+// the location nodes; guards, synchronizations, and updates label the
+// edges; guide decorations are highlighted.
+func (s *System) WriteDot(w io.Writer, a *Automaton) {
+	fmt.Fprintf(w, "digraph %q {\n", a.Name)
+	fmt.Fprintln(w, "  rankdir=LR;")
+	fmt.Fprintln(w, "  node [shape=ellipse, fontsize=10];")
+	fmt.Fprintln(w, "  edge [fontsize=9];")
+	for li, l := range a.Locations {
+		label := l.Name
+		if len(l.Invariant) > 0 {
+			label += "\\n" + s.formatConstraints(l.Invariant)
+		}
+		attrs := []string{`label="` + dotEscape(label) + `"`}
+		switch l.Kind {
+		case Committed:
+			attrs = append(attrs, "peripheries=2", `style=filled`, `fillcolor="#ffe0e0"`)
+		case Urgent:
+			attrs = append(attrs, "peripheries=2", `style=filled`, `fillcolor="#fff4d0"`)
+		}
+		if li == a.Init {
+			attrs = append(attrs, "penwidth=2")
+		}
+		fmt.Fprintf(w, "  n%d [%s];\n", li, strings.Join(attrs, ", "))
+	}
+	for _, e := range a.Edges {
+		var parts []string
+		if g := s.FormatGuard(e); g != "" {
+			parts = append(parts, g)
+		}
+		if e.Dir != NoSync {
+			mark := "!"
+			if e.Dir == Recv {
+				mark = "?"
+			}
+			parts = append(parts, s.channels[e.Chan].Name+mark)
+		}
+		if u := s.FormatUpdate(e); u != "" {
+			parts = append(parts, u)
+		}
+		attrs := `label="` + dotEscape(strings.Join(parts, `\n`)) + `"`
+		if strings.HasPrefix(e.Comment, "guide:") {
+			attrs += `, color="#b00020", fontcolor="#b00020"`
+		}
+		fmt.Fprintf(w, "  n%d -> n%d [%s];\n", e.Src, e.Dst, attrs)
+	}
+	fmt.Fprintln(w, "}")
+}
+
+func dotEscape(s string) string {
+	return strings.ReplaceAll(s, `"`, `\"`)
+}

@@ -1,0 +1,38 @@
+package ta
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDot(t *testing.T) {
+	s, _, _ := buildTwoProc(t)
+	p := s.Automata[0]
+	p.Edge(1, 0).Note("guide: example").Done()
+	var sb strings.Builder
+	s.WriteDot(&sb, p)
+	out := sb.String()
+	for _, want := range []string{
+		`digraph "P"`, "rankdir=LR", "x<=5", "go!", "penwidth=2", `color="#b00020"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dot output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDotKinds(t *testing.T) {
+	s := NewSystem("k")
+	s.AddClock("x")
+	a := s.AddAutomaton("A")
+	a.AddLocation("n", Normal)
+	a.AddLocation("c", Committed)
+	a.AddLocation("u", Urgent)
+	a.SetInit(0)
+	var sb strings.Builder
+	s.WriteDot(&sb, a)
+	out := sb.String()
+	if strings.Count(out, "peripheries=2") != 2 {
+		t.Errorf("committed+urgent should both be double-ringed:\n%s", out)
+	}
+}

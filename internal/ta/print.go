@@ -1,0 +1,133 @@
+package ta
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"guidedta/internal/expr"
+)
+
+// WriteAutomaton pretty-prints one automaton in a compact textual form (the
+// repository's analogue of the paper's appendix Figures 7–9).
+func (s *System) WriteAutomaton(w io.Writer, a *Automaton) {
+	fmt.Fprintf(w, "automaton %s {\n", a.Name)
+	for i, l := range a.Locations {
+		attrs := make([]string, 0, 3)
+		if i == a.Init {
+			attrs = append(attrs, "init")
+		}
+		if l.Kind != Normal {
+			attrs = append(attrs, l.Kind.String())
+		}
+		if len(l.Invariant) > 0 {
+			attrs = append(attrs, "inv "+s.formatConstraints(l.Invariant))
+		}
+		suffix := ""
+		if len(attrs) > 0 {
+			suffix = " [" + strings.Join(attrs, "; ") + "]"
+		}
+		fmt.Fprintf(w, "  loc %s%s\n", l.Name, suffix)
+	}
+	for _, e := range a.Edges {
+		fmt.Fprintf(w, "  %s -> %s", a.Locations[e.Src].Name, a.Locations[e.Dst].Name)
+		var parts []string
+		if g := s.FormatGuard(e); g != "" {
+			parts = append(parts, "guard "+g)
+		}
+		if e.Dir != NoSync {
+			mark := "!"
+			if e.Dir == Recv {
+				mark = "?"
+			}
+			parts = append(parts, "sync "+s.channels[e.Chan].Name+mark)
+		}
+		if u := s.FormatUpdate(e); u != "" {
+			parts = append(parts, "do "+u)
+		}
+		if len(parts) > 0 {
+			fmt.Fprintf(w, " {%s}", strings.Join(parts, "; "))
+		}
+		if e.Comment != "" {
+			fmt.Fprintf(w, "  // %s", e.Comment)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "}")
+}
+
+// WriteSystem pretty-prints the whole network.
+func (s *System) WriteSystem(w io.Writer) {
+	fmt.Fprintf(w, "system %s: %d automata, %d clocks, %d channels, %d int cells\n",
+		s.Name, len(s.Automata), s.NumClocks()-1, len(s.channels), s.Table.Size())
+	for _, a := range s.Automata {
+		s.WriteAutomaton(w, a)
+	}
+}
+
+// FormatGuard renders an edge's full guard (clock and integer parts).
+func (s *System) FormatGuard(e Edge) string {
+	var parts []string
+	if cg := s.formatConstraints(e.ClockGuard); cg != "" {
+		parts = append(parts, cg)
+	}
+	if e.IntGuard != nil {
+		parts = append(parts, e.IntGuard.String())
+	}
+	return strings.Join(parts, " && ")
+}
+
+// FormatUpdate renders an edge's assignments and clock resets.
+func (s *System) FormatUpdate(e Edge) string {
+	var parts []string
+	if len(e.Assigns) > 0 {
+		parts = append(parts, expr.FormatAssigns(e.Assigns))
+	}
+	for _, r := range e.Resets {
+		parts = append(parts, fmt.Sprintf("%s := %d", s.ClockName(r.Clock), r.Value))
+	}
+	return strings.Join(parts, ", ")
+}
+
+func (s *System) formatConstraints(cs []ClockConstraint) string {
+	if len(cs) == 0 {
+		return ""
+	}
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		parts[i] = c.String(s)
+	}
+	return strings.Join(parts, " && ")
+}
+
+// Stats summarizes the size of the network, matching how the paper reports
+// model sizes ("125 timed automata and a total of 183 clocks").
+type Stats struct {
+	Automata  int
+	Locations int
+	Edges     int
+	Clocks    int
+	IntCells  int
+	Channels  int
+}
+
+// Stats computes model-size statistics.
+func (s *System) Stats() Stats {
+	st := Stats{
+		Automata: len(s.Automata),
+		Clocks:   s.NumClocks() - 1,
+		IntCells: s.Table.Size(),
+		Channels: len(s.channels),
+	}
+	for _, a := range s.Automata {
+		st.Locations += len(a.Locations)
+		st.Edges += len(a.Edges)
+	}
+	return st
+}
+
+// String implements fmt.Stringer.
+func (st Stats) String() string {
+	return fmt.Sprintf("%d automata, %d locations, %d edges, %d clocks, %d int cells, %d channels",
+		st.Automata, st.Locations, st.Edges, st.Clocks, st.IntCells, st.Channels)
+}

@@ -1,0 +1,500 @@
+// Package ta defines networks of timed automata in the UPPAAL style: finite
+// automata extended with real-valued clocks, integer variables and arrays,
+// binary synchronization channels, and urgent/committed locations. Models
+// are built programmatically (see SystemBuilder-style methods on System and
+// Automaton) or parsed from text by package tadsl.
+//
+// The package is purely structural: guiding a model (the paper's
+// contribution) requires no support here, because guides are ordinary
+// variables and guards added to an existing model.
+package ta
+
+import (
+	"fmt"
+
+	"guidedta/internal/dbm"
+	"guidedta/internal/expr"
+)
+
+// LocationKind classifies locations by urgency.
+type LocationKind int
+
+// Location kinds. In an Urgent location time may not pass. A Committed
+// location additionally requires that the next transition in the whole
+// network leaves some committed location.
+const (
+	Normal LocationKind = iota
+	Urgent
+	Committed
+)
+
+// String implements fmt.Stringer.
+func (k LocationKind) String() string {
+	switch k {
+	case Urgent:
+		return "urgent"
+	case Committed:
+		return "committed"
+	default:
+		return "normal"
+	}
+}
+
+// SyncDir is the direction of a channel synchronization on an edge.
+type SyncDir int
+
+// Synchronization directions.
+const (
+	NoSync SyncDir = iota
+	Send           // ch!
+	Recv           // ch?
+)
+
+// ClockConstraint is the atomic clock guard xI - xJ ≺ c (J==0 for
+// single-clock upper bounds, I==0 for lower bounds). Clock indices are DBM
+// indices: 0 is the constant reference clock.
+type ClockConstraint struct {
+	I, J int
+	B    dbm.Bound
+}
+
+// String renders the constraint using clock names from sys.
+func (c ClockConstraint) String(sys *System) string {
+	op := "<"
+	if c.B.IsWeak() {
+		op = "<="
+	}
+	switch {
+	case c.J == 0 && c.I != 0:
+		return fmt.Sprintf("%s%s%d", sys.ClockName(c.I), op, c.B.Value())
+	case c.I == 0 && c.J != 0:
+		gop := ">"
+		if c.B.IsWeak() {
+			gop = ">="
+		}
+		return fmt.Sprintf("%s%s%d", sys.ClockName(c.J), gop, -c.B.Value())
+	default:
+		return fmt.Sprintf("%s-%s%s%d", sys.ClockName(c.I), sys.ClockName(c.J), op, c.B.Value())
+	}
+}
+
+// ClockReset sets a clock to a constant value on an edge.
+type ClockReset struct {
+	Clock int
+	Value int32
+}
+
+// Location is a node of an automaton.
+type Location struct {
+	Name      string
+	Kind      LocationKind
+	Invariant []ClockConstraint
+}
+
+// Edge is a transition of an automaton.
+type Edge struct {
+	Src, Dst   int
+	IntGuard   expr.Expr // nil means true
+	ClockGuard []ClockConstraint
+	Chan       int // channel index, or -1 for internal transitions
+	Dir        SyncDir
+	Assigns    []expr.Assign
+	Resets     []ClockReset
+	// Comment is free-form provenance (e.g. "guide: direct route"),
+	// surfaced by the pretty printer and used by tests that count guide
+	// decorations.
+	Comment string
+}
+
+// Channel is a binary synchronization channel. Urgent channels forbid delay
+// whenever a synchronization on them is enabled; edges synchronizing on an
+// urgent channel must not have clock guards (checked by Validate).
+type Channel struct {
+	Name   string
+	Urgent bool
+}
+
+// Automaton is one component of the network.
+type Automaton struct {
+	Name      string
+	Locations []Location
+	Edges     []Edge
+	Init      int
+
+	sys      *System
+	outEdges [][]int // edge indices grouped by source, built by Freeze
+}
+
+// System is a network of timed automata sharing clocks, integer variables,
+// and channels.
+type System struct {
+	Name     string
+	Table    *expr.Table
+	Automata []*Automaton
+
+	clockNames  []string // index 0 reserved for the reference clock
+	clockByName map[string]int
+	channels    []Channel
+	chanByName  map[string]int
+	frozen      bool
+}
+
+// NewSystem creates an empty system.
+func NewSystem(name string) *System {
+	return &System{
+		Name:        name,
+		Table:       &expr.Table{},
+		clockNames:  []string{"0"},
+		clockByName: make(map[string]int),
+		chanByName:  make(map[string]int),
+	}
+}
+
+// AddClock declares a clock and returns its DBM index (≥1).
+func (s *System) AddClock(name string) int {
+	s.mustMutable()
+	if _, dup := s.clockByName[name]; dup {
+		panic(fmt.Sprintf("ta: duplicate clock %q", name))
+	}
+	idx := len(s.clockNames)
+	s.clockNames = append(s.clockNames, name)
+	s.clockByName[name] = idx
+	return idx
+}
+
+// NumClocks returns the DBM dimension (clocks + the reference clock).
+func (s *System) NumClocks() int { return len(s.clockNames) }
+
+// ClockName returns the name of clock i.
+func (s *System) ClockName(i int) string { return s.clockNames[i] }
+
+// ClockIndex resolves a clock by name.
+func (s *System) ClockIndex(name string) (int, bool) {
+	i, ok := s.clockByName[name]
+	return i, ok
+}
+
+// AddChannel declares a channel and returns its index.
+func (s *System) AddChannel(name string, urgent bool) int {
+	s.mustMutable()
+	if _, dup := s.chanByName[name]; dup {
+		panic(fmt.Sprintf("ta: duplicate channel %q", name))
+	}
+	idx := len(s.channels)
+	s.channels = append(s.channels, Channel{Name: name, Urgent: urgent})
+	s.chanByName[name] = idx
+	return idx
+}
+
+// NumChannels returns the number of declared channels.
+func (s *System) NumChannels() int { return len(s.channels) }
+
+// Channel returns channel metadata.
+func (s *System) Channel(i int) Channel { return s.channels[i] }
+
+// ChannelIndex resolves a channel by name.
+func (s *System) ChannelIndex(name string) (int, bool) {
+	i, ok := s.chanByName[name]
+	return i, ok
+}
+
+// AddAutomaton appends an empty automaton to the network.
+func (s *System) AddAutomaton(name string) *Automaton {
+	s.mustMutable()
+	a := &Automaton{Name: name, sys: s}
+	s.Automata = append(s.Automata, a)
+	return a
+}
+
+func (s *System) mustMutable() {
+	if s.frozen {
+		panic("ta: system is frozen")
+	}
+}
+
+// AddLocation appends a location and returns its index.
+func (a *Automaton) AddLocation(name string, kind LocationKind) int {
+	a.sys.mustMutable()
+	a.Locations = append(a.Locations, Location{Name: name, Kind: kind})
+	return len(a.Locations) - 1
+}
+
+// SetInvariant replaces the invariant of location l. Invariants must be
+// conjunctions of upper bounds (UPPAAL restriction: invariants keep zones
+// time-convex); Validate enforces I != 0.
+func (a *Automaton) SetInvariant(l int, cs ...ClockConstraint) {
+	a.sys.mustMutable()
+	a.Locations[l].Invariant = cs
+}
+
+// SetInit designates the initial location.
+func (a *Automaton) SetInit(l int) { a.Init = l }
+
+// AddEdge appends an edge. Chan defaults to -1 when Dir is NoSync.
+func (a *Automaton) AddEdge(e Edge) int {
+	a.sys.mustMutable()
+	if e.Dir == NoSync {
+		e.Chan = -1
+	}
+	a.Edges = append(a.Edges, e)
+	return len(a.Edges) - 1
+}
+
+// OutEdges returns the indices of edges leaving location l. Requires
+// Freeze.
+func (a *Automaton) OutEdges(l int) []int { return a.outEdges[l] }
+
+// LocationIndex resolves a location by name.
+func (a *Automaton) LocationIndex(name string) (int, bool) {
+	for i, l := range a.Locations {
+		if l.Name == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Freeze validates the system and builds the per-location edge indices the
+// explorer needs. After Freeze the system is immutable.
+func (s *System) Freeze() error {
+	if s.frozen {
+		return nil
+	}
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	for _, a := range s.Automata {
+		a.outEdges = make([][]int, len(a.Locations))
+		for i, e := range a.Edges {
+			a.outEdges[e.Src] = append(a.outEdges[e.Src], i)
+		}
+	}
+	s.frozen = true
+	return nil
+}
+
+// MustFreeze is Freeze that panics on error.
+func (s *System) MustFreeze() {
+	if err := s.Freeze(); err != nil {
+		panic(err)
+	}
+}
+
+// Frozen reports whether Freeze has run.
+func (s *System) Frozen() bool { return s.frozen }
+
+// Validate checks structural well-formedness: index ranges, invariant
+// shape, and the urgent-channel/clock-guard restriction.
+func (s *System) Validate() error {
+	if len(s.Automata) == 0 {
+		return fmt.Errorf("ta: system %q has no automata", s.Name)
+	}
+	nClocks := s.NumClocks()
+	for _, a := range s.Automata {
+		if len(a.Locations) == 0 {
+			return fmt.Errorf("ta: automaton %q has no locations", a.Name)
+		}
+		if a.Init < 0 || a.Init >= len(a.Locations) {
+			return fmt.Errorf("ta: automaton %q: init location %d out of range", a.Name, a.Init)
+		}
+		for li, l := range a.Locations {
+			for _, c := range l.Invariant {
+				if err := checkConstraint(c, nClocks); err != nil {
+					return fmt.Errorf("ta: %s.%s invariant: %w", a.Name, l.Name, err)
+				}
+				if c.I == 0 {
+					return fmt.Errorf("ta: %s.%s: invariant must be an upper bound, got lower bound on %s",
+						a.Name, l.Name, s.ClockName(c.J))
+				}
+			}
+			_ = li
+		}
+		for ei, e := range a.Edges {
+			if e.Src < 0 || e.Src >= len(a.Locations) || e.Dst < 0 || e.Dst >= len(a.Locations) {
+				return fmt.Errorf("ta: %s edge %d: location index out of range", a.Name, ei)
+			}
+			for _, c := range e.ClockGuard {
+				if err := checkConstraint(c, nClocks); err != nil {
+					return fmt.Errorf("ta: %s edge %d guard: %w", a.Name, ei, err)
+				}
+			}
+			for _, r := range e.Resets {
+				if r.Clock <= 0 || r.Clock >= nClocks {
+					return fmt.Errorf("ta: %s edge %d: reset of invalid clock %d", a.Name, ei, r.Clock)
+				}
+				if r.Value < 0 {
+					return fmt.Errorf("ta: %s edge %d: reset to negative value %d", a.Name, ei, r.Value)
+				}
+			}
+			switch e.Dir {
+			case NoSync:
+				if e.Chan != -1 {
+					return fmt.Errorf("ta: %s edge %d: channel set without direction", a.Name, ei)
+				}
+			case Send, Recv:
+				if e.Chan < 0 || e.Chan >= len(s.channels) {
+					return fmt.Errorf("ta: %s edge %d: channel index %d out of range", a.Name, ei, e.Chan)
+				}
+				if s.channels[e.Chan].Urgent && len(e.ClockGuard) > 0 {
+					return fmt.Errorf("ta: %s edge %d: clock guard on urgent channel %q",
+						a.Name, ei, s.channels[e.Chan].Name)
+				}
+			default:
+				return fmt.Errorf("ta: %s edge %d: bad sync direction %d", a.Name, ei, e.Dir)
+			}
+		}
+	}
+	return nil
+}
+
+func checkConstraint(c ClockConstraint, nClocks int) error {
+	if c.I < 0 || c.I >= nClocks || c.J < 0 || c.J >= nClocks {
+		return fmt.Errorf("clock index out of range in constraint (%d,%d)", c.I, c.J)
+	}
+	if c.I == c.J {
+		return fmt.Errorf("constraint relates clock %d to itself", c.I)
+	}
+	if c.B == dbm.Infinity {
+		return fmt.Errorf("constraint with infinite bound is vacuous")
+	}
+	return nil
+}
+
+// MaxConstants computes, per clock, the largest constant it is compared
+// against anywhere in guards, invariants, or resets. Clocks never compared
+// get -1 (fully inactive for extrapolation). Index 0 is the reference clock
+// with maximum 0.
+func (s *System) MaxConstants() []int32 {
+	max := make([]int32, s.NumClocks())
+	for i := range max {
+		max[i] = -1
+	}
+	max[0] = 0
+	note := func(c ClockConstraint) {
+		v := c.B.Value()
+		if v < 0 {
+			v = -v
+		}
+		if c.I != 0 && v > max[c.I] {
+			max[c.I] = v
+		}
+		if c.J != 0 && v > max[c.J] {
+			max[c.J] = v
+		}
+	}
+	for _, a := range s.Automata {
+		for _, l := range a.Locations {
+			for _, c := range l.Invariant {
+				note(c)
+			}
+		}
+		for _, e := range a.Edges {
+			for _, c := range e.ClockGuard {
+				note(c)
+			}
+			for _, r := range e.Resets {
+				// A clock reset to v>0 behaves like a comparison at v for
+				// extrapolation soundness.
+				if r.Value > max[r.Clock] {
+					max[r.Clock] = r.Value
+				}
+			}
+		}
+	}
+	return max
+}
+
+// LUBounds computes, per clock, the largest constant appearing in
+// lower-bound guards (x > c, x ≥ c) and in upper-bound guards and
+// invariants (x < c, x ≤ c), the inputs of LU-extrapolation. Clocks never
+// constrained on a side get -1. hasDiagonal reports whether any guard or
+// invariant relates two clocks directly (x - y ≺ c), in which case
+// LU-extrapolation (proved for diagonal-free automata) must not be used.
+func (s *System) LUBounds() (lower, upper []int32, hasDiagonal bool) {
+	lower = make([]int32, s.NumClocks())
+	upper = make([]int32, s.NumClocks())
+	for i := range lower {
+		lower[i], upper[i] = -1, -1
+	}
+	note := func(c ClockConstraint) {
+		switch {
+		case c.I != 0 && c.J == 0: // upper bound on xI
+			if v := c.B.Value(); v > upper[c.I] {
+				upper[c.I] = v
+			}
+		case c.I == 0 && c.J != 0: // lower bound on xJ
+			if v := -c.B.Value(); v > lower[c.J] {
+				lower[c.J] = v
+			}
+		default:
+			hasDiagonal = true
+			v := c.B.Value()
+			if v < 0 {
+				v = -v
+			}
+			for _, x := range []int{c.I, c.J} {
+				if v > lower[x] {
+					lower[x] = v
+				}
+				if v > upper[x] {
+					upper[x] = v
+				}
+			}
+		}
+	}
+	for _, a := range s.Automata {
+		for _, l := range a.Locations {
+			for _, c := range l.Invariant {
+				note(c)
+			}
+		}
+		for _, e := range a.Edges {
+			for _, c := range e.ClockGuard {
+				note(c)
+			}
+			for _, r := range e.Resets {
+				// A reset to v behaves like a comparison at v on both
+				// sides for extrapolation soundness.
+				if r.Value > lower[r.Clock] {
+					lower[r.Clock] = r.Value
+				}
+				if r.Value > upper[r.Clock] {
+					upper[r.Clock] = r.Value
+				}
+			}
+		}
+	}
+	return lower, upper, hasDiagonal
+}
+
+// Convenience constructors for clock constraints.
+
+// GE is the guard "clock ≥ c".
+func GE(clock int, c int32) ClockConstraint {
+	return ClockConstraint{I: 0, J: clock, B: dbm.LE(-c)}
+}
+
+// GT is the guard "clock > c".
+func GT(clock int, c int32) ClockConstraint {
+	return ClockConstraint{I: 0, J: clock, B: dbm.LT(-c)}
+}
+
+// LE is the guard or invariant "clock ≤ c".
+func LE(clock int, c int32) ClockConstraint {
+	return ClockConstraint{I: clock, J: 0, B: dbm.LE(c)}
+}
+
+// LT is the guard or invariant "clock < c".
+func LT(clock int, c int32) ClockConstraint {
+	return ClockConstraint{I: clock, J: 0, B: dbm.LT(c)}
+}
+
+// EQ expands to the two constraints of "clock == c".
+func EQ(clock int, c int32) []ClockConstraint {
+	return []ClockConstraint{LE(clock, c), GE(clock, c)}
+}
+
+// Diff is the diagonal guard "ci - cj ≺ bound".
+func Diff(ci, cj int, b dbm.Bound) ClockConstraint {
+	return ClockConstraint{I: ci, J: cj, B: b}
+}

@@ -1,0 +1,649 @@
+// Package tadsl parses a small UPPAAL-like textual description language for
+// networks of timed automata, used by the guidedmc command-line checker.
+//
+// The format is line-oriented with braces for automata and transitions:
+//
+//	system traingate
+//
+//	const N 3
+//	int id 0
+//	int pos[4] 1 0 0 0
+//	clock x y
+//	chan go appr
+//	urgent chan hurry
+//
+//	automaton Train {
+//	    init loc far
+//	    loc near { inv x <= 5 }
+//	    committed loc c0
+//	    far -> near { guard x >= 3 && id == 0; sync go!; do x := 0, id := 1 }
+//	    near -> far { sync hurry?; do id := 0 }
+//	}
+//
+//	query exists Train.far && id == 0
+//
+// Guards freely mix clock constraints (x >= 3, x - y < 2, x == 5) and
+// integer expressions; the parser classifies the conjuncts. In `do` lists,
+// an assignment to a clock name is a reset (to a constant). The query names
+// locations as Automaton.location and may add an integer predicate.
+package tadsl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"guidedta/internal/dbm"
+	"guidedta/internal/expr"
+	"guidedta/internal/mc"
+	"guidedta/internal/ta"
+)
+
+// Model is the result of parsing: a frozen system and the file's query (if
+// any).
+type Model struct {
+	Sys      *ta.System
+	Query    mc.Goal
+	HasQuery bool
+}
+
+// Parse parses a model from source text.
+func Parse(src string) (*Model, error) {
+	p := &fileParser{lines: splitLines(src)}
+	return p.parse()
+}
+
+type fileParser struct {
+	lines []line
+	pos   int
+
+	sys    *ta.System
+	consts map[string]bool
+	model  *Model
+}
+
+type line struct {
+	no   int
+	text string
+}
+
+func splitLines(src string) []line {
+	var out []line
+	for i, raw := range strings.Split(src, "\n") {
+		text := raw
+		if idx := strings.Index(text, "//"); idx >= 0 {
+			text = text[:idx]
+		}
+		text = strings.TrimSpace(text)
+		if text != "" {
+			out = append(out, line{no: i + 1, text: text})
+		}
+	}
+	return out
+}
+
+func (p *fileParser) errf(no int, format string, args ...any) error {
+	return fmt.Errorf("tadsl: line %d: %s", no, fmt.Sprintf(format, args...))
+}
+
+func (p *fileParser) next() (line, bool) {
+	if p.pos >= len(p.lines) {
+		return line{}, false
+	}
+	l := p.lines[p.pos]
+	p.pos++
+	return l, true
+}
+
+func (p *fileParser) parse() (*Model, error) {
+	p.sys = ta.NewSystem("model")
+	p.consts = make(map[string]bool)
+	p.model = &Model{Sys: p.sys}
+
+	for {
+		l, ok := p.next()
+		if !ok {
+			break
+		}
+		fields := strings.Fields(l.text)
+		switch fields[0] {
+		case "system":
+			if len(fields) != 2 {
+				return nil, p.errf(l.no, "usage: system <name>")
+			}
+			p.sys.Name = fields[1]
+		case "const":
+			if len(fields) != 3 {
+				return nil, p.errf(l.no, "usage: const <name> <value>")
+			}
+			v, err := strconv.ParseInt(fields[2], 10, 32)
+			if err != nil {
+				return nil, p.errf(l.no, "bad constant value %q", fields[2])
+			}
+			p.sys.Table.DefineConst(fields[1], int32(v))
+		case "int":
+			if err := p.parseInt(l, fields[1:]); err != nil {
+				return nil, err
+			}
+		case "clock":
+			if len(fields) < 2 {
+				return nil, p.errf(l.no, "usage: clock <name>...")
+			}
+			for _, name := range fields[1:] {
+				p.sys.AddClock(name)
+			}
+		case "chan":
+			for _, name := range fields[1:] {
+				p.sys.AddChannel(name, false)
+			}
+		case "urgent":
+			if len(fields) < 3 || fields[1] != "chan" {
+				return nil, p.errf(l.no, "usage: urgent chan <name>...")
+			}
+			for _, name := range fields[2:] {
+				p.sys.AddChannel(name, true)
+			}
+		case "automaton":
+			if err := p.parseAutomaton(l, fields[1:]); err != nil {
+				return nil, err
+			}
+		case "query":
+			if err := p.parseQuery(l); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errf(l.no, "unknown directive %q", fields[0])
+		}
+	}
+
+	if len(p.sys.Automata) == 0 {
+		return nil, fmt.Errorf("tadsl: model has no automata")
+	}
+	if err := p.sys.Freeze(); err != nil {
+		return nil, fmt.Errorf("tadsl: %w", err)
+	}
+	return p.model, nil
+}
+
+// parseInt handles "int name init" and "int name[N] v0 v1 ...".
+func (p *fileParser) parseInt(l line, fields []string) error {
+	if len(fields) == 0 {
+		return p.errf(l.no, "usage: int <name>[<size>] <init>...")
+	}
+	name := fields[0]
+	if open := strings.Index(name, "["); open >= 0 {
+		if !strings.HasSuffix(name, "]") {
+			return p.errf(l.no, "malformed array declaration %q", name)
+		}
+		size, err := strconv.Atoi(name[open+1 : len(name)-1])
+		if err != nil || size < 1 {
+			return p.errf(l.no, "bad array size in %q", name)
+		}
+		inits := make([]int32, 0, len(fields)-1)
+		for _, f := range fields[1:] {
+			v, err := strconv.ParseInt(f, 10, 32)
+			if err != nil {
+				return p.errf(l.no, "bad initializer %q", f)
+			}
+			inits = append(inits, int32(v))
+		}
+		if len(inits) > size {
+			return p.errf(l.no, "too many initializers for %q", name)
+		}
+		p.sys.Table.DeclareArray(name[:open], size, inits...)
+		return nil
+	}
+	init := int32(0)
+	if len(fields) > 2 {
+		return p.errf(l.no, "too many fields in int declaration")
+	}
+	if len(fields) == 2 {
+		v, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return p.errf(l.no, "bad initializer %q", fields[1])
+		}
+		init = int32(v)
+	}
+	p.sys.Table.DeclareVar(name, init)
+	return nil
+}
+
+func (p *fileParser) parseAutomaton(l line, fields []string) error {
+	if len(fields) != 2 || fields[1] != "{" {
+		return p.errf(l.no, "usage: automaton <name> {")
+	}
+	a := p.sys.AddAutomaton(fields[0])
+	sawInit := false
+	for {
+		ll, ok := p.next()
+		if !ok {
+			return p.errf(l.no, "unterminated automaton %q", fields[0])
+		}
+		if ll.text == "}" {
+			break
+		}
+		f := strings.Fields(ll.text)
+		kind := ta.Normal
+		idx := 0
+		switch f[0] {
+		case "init":
+			idx = 1
+			if len(f) > idx && f[idx] == "committed" {
+				kind = ta.Committed
+				idx++
+			} else if len(f) > idx && f[idx] == "urgent" {
+				kind = ta.Urgent
+				idx++
+			}
+		case "committed":
+			kind = ta.Committed
+			idx = 1
+		case "urgent":
+			kind = ta.Urgent
+			idx = 1
+		}
+		if idx < len(f) && f[idx] == "loc" {
+			if err := p.parseLocation(ll, a, f[0] == "init", kind, strings.Join(f[idx+1:], " ")); err != nil {
+				return err
+			}
+			if f[0] == "init" {
+				if sawInit {
+					return p.errf(ll.no, "duplicate init location")
+				}
+				sawInit = true
+			}
+			continue
+		}
+		if strings.Contains(ll.text, "->") {
+			if err := p.parseEdge(ll, a); err != nil {
+				return err
+			}
+			continue
+		}
+		return p.errf(ll.no, "expected location or transition, got %q", ll.text)
+	}
+	if !sawInit {
+		return p.errf(l.no, "automaton %q has no init location", fields[0])
+	}
+	return nil
+}
+
+// parseLocation handles `<name>` or `<name> { inv <constraints> }`.
+func (p *fileParser) parseLocation(l line, a *ta.Automaton, isInit bool, kind ta.LocationKind, rest string) error {
+	name := rest
+	var inv string
+	if open := strings.Index(rest, "{"); open >= 0 {
+		name = strings.TrimSpace(rest[:open])
+		body := strings.TrimSpace(rest[open+1:])
+		if !strings.HasSuffix(body, "}") {
+			return p.errf(l.no, "unterminated location body")
+		}
+		body = strings.TrimSpace(strings.TrimSuffix(body, "}"))
+		if !strings.HasPrefix(body, "inv ") {
+			return p.errf(l.no, "location body must be `inv <constraints>`")
+		}
+		inv = strings.TrimSpace(strings.TrimPrefix(body, "inv "))
+	}
+	if name == "" {
+		return p.errf(l.no, "location needs a name")
+	}
+	if _, dup := a.LocationIndex(name); dup {
+		return p.errf(l.no, "duplicate location %q", name)
+	}
+	li := a.AddLocation(name, kind)
+	if isInit {
+		a.SetInit(li)
+	}
+	if inv != "" {
+		cs, intPart, err := p.parseGuard(l, inv)
+		if err != nil {
+			return err
+		}
+		if intPart != nil {
+			return p.errf(l.no, "invariants may only constrain clocks")
+		}
+		a.SetInvariant(li, cs...)
+	}
+	return nil
+}
+
+// parseEdge handles `src -> dst { guard ...; sync ch!|ch?; do ... }`.
+func (p *fileParser) parseEdge(l line, a *ta.Automaton) error {
+	text := l.text
+	arrow := strings.Index(text, "->")
+	src := strings.TrimSpace(text[:arrow])
+	rest := strings.TrimSpace(text[arrow+2:])
+	dst := rest
+	body := ""
+	if open := strings.Index(rest, "{"); open >= 0 {
+		dst = strings.TrimSpace(rest[:open])
+		body = strings.TrimSpace(rest[open+1:])
+		if !strings.HasSuffix(body, "}") {
+			return p.errf(l.no, "unterminated transition body")
+		}
+		body = strings.TrimSpace(strings.TrimSuffix(body, "}"))
+	}
+	si, ok := a.LocationIndex(src)
+	if !ok {
+		return p.errf(l.no, "unknown source location %q", src)
+	}
+	di, ok := a.LocationIndex(dst)
+	if !ok {
+		return p.errf(l.no, "unknown target location %q", dst)
+	}
+
+	e := ta.Edge{Src: si, Dst: di, Chan: -1}
+	for _, clause := range strings.Split(body, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(clause, "guard "):
+			cs, intPart, err := p.parseGuard(l, strings.TrimPrefix(clause, "guard "))
+			if err != nil {
+				return err
+			}
+			e.ClockGuard = append(e.ClockGuard, cs...)
+			if intPart != nil {
+				if e.IntGuard == nil {
+					e.IntGuard = intPart
+				} else {
+					e.IntGuard = expr.Binary{Op: expr.OpAnd, L: e.IntGuard, R: intPart}
+				}
+			}
+		case strings.HasPrefix(clause, "sync "):
+			s := strings.TrimSpace(strings.TrimPrefix(clause, "sync "))
+			dir := ta.Send
+			switch {
+			case strings.HasSuffix(s, "!"):
+			case strings.HasSuffix(s, "?"):
+				dir = ta.Recv
+			default:
+				return p.errf(l.no, "sync needs ! or ?: %q", s)
+			}
+			name := s[:len(s)-1]
+			ch, ok := p.sys.ChannelIndex(name)
+			if !ok {
+				return p.errf(l.no, "unknown channel %q", name)
+			}
+			e.Chan, e.Dir = ch, dir
+		case strings.HasPrefix(clause, "do "):
+			resets, assigns, err := p.parseUpdate(l, strings.TrimPrefix(clause, "do "))
+			if err != nil {
+				return err
+			}
+			e.Resets = append(e.Resets, resets...)
+			e.Assigns = append(e.Assigns, assigns...)
+		default:
+			return p.errf(l.no, "unknown clause %q (want guard/sync/do)", clause)
+		}
+	}
+	a.AddEdge(e)
+	return nil
+}
+
+// parseGuard splits a conjunction into clock constraints and an integer
+// predicate. Conjuncts are separated by top-level &&; a conjunct mentioning
+// a clock must have one of the shapes `c ~ k`, `k ~ c`, or `c - c' ~ k`.
+func (p *fileParser) parseGuard(l line, src string) ([]ta.ClockConstraint, expr.Expr, error) {
+	var cs []ta.ClockConstraint
+	var intPart expr.Expr
+	for _, atom := range splitTopLevel(src, "&&") {
+		atom = strings.TrimSpace(atom)
+		if atom == "" {
+			return nil, nil, p.errf(l.no, "empty conjunct in guard %q", src)
+		}
+		if p.mentionsClock(atom) {
+			c, err := p.parseClockAtom(l, atom)
+			if err != nil {
+				return nil, nil, err
+			}
+			cs = append(cs, c...)
+			continue
+		}
+		e, err := expr.Parse(atom, p.sys.Table)
+		if err != nil {
+			return nil, nil, p.errf(l.no, "bad guard conjunct %q: %v", atom, err)
+		}
+		if intPart == nil {
+			intPart = e
+		} else {
+			intPart = expr.Binary{Op: expr.OpAnd, L: intPart, R: e}
+		}
+	}
+	return cs, intPart, nil
+}
+
+// mentionsClock reports whether any identifier in the atom is a clock.
+func (p *fileParser) mentionsClock(atom string) bool {
+	for _, id := range identifiers(atom) {
+		if _, ok := p.sys.ClockIndex(id); ok {
+			return true
+		}
+	}
+	return false
+}
+
+var relOps = []string{"<=", ">=", "==", "<", ">"}
+
+// parseClockAtom parses `x ~ k` or `x - y ~ k`, where k is an integer or
+// named constant.
+func (p *fileParser) parseClockAtom(l line, atom string) ([]ta.ClockConstraint, error) {
+	op := ""
+	opIdx := -1
+	for _, cand := range relOps {
+		if i := strings.Index(atom, cand); i >= 0 {
+			op, opIdx = cand, i
+			break
+		}
+	}
+	if op == "" {
+		return nil, p.errf(l.no, "clock conjunct %q needs a relation", atom)
+	}
+	lhs := strings.TrimSpace(atom[:opIdx])
+	rhs := strings.TrimSpace(atom[opIdx+len(op):])
+
+	k, err := p.constValue(rhs)
+	if err != nil {
+		return nil, p.errf(l.no, "clock conjunct %q: right side must be a constant: %v", atom, err)
+	}
+	var ci, cj int
+	if minus := strings.Index(lhs, "-"); minus >= 0 {
+		a := strings.TrimSpace(lhs[:minus])
+		b := strings.TrimSpace(lhs[minus+1:])
+		ia, ok := p.sys.ClockIndex(a)
+		if !ok {
+			return nil, p.errf(l.no, "unknown clock %q", a)
+		}
+		ib, ok := p.sys.ClockIndex(b)
+		if !ok {
+			return nil, p.errf(l.no, "unknown clock %q", b)
+		}
+		ci, cj = ia, ib
+	} else {
+		ia, ok := p.sys.ClockIndex(lhs)
+		if !ok {
+			return nil, p.errf(l.no, "unknown clock %q", lhs)
+		}
+		ci, cj = ia, 0
+	}
+
+	mk := func(i, j int, b dbm.Bound) ta.ClockConstraint {
+		return ta.ClockConstraint{I: i, J: j, B: b}
+	}
+	switch op {
+	case "<":
+		return []ta.ClockConstraint{mk(ci, cj, dbm.LT(k))}, nil
+	case "<=":
+		return []ta.ClockConstraint{mk(ci, cj, dbm.LE(k))}, nil
+	case ">":
+		return []ta.ClockConstraint{mk(cj, ci, dbm.LT(-k))}, nil
+	case ">=":
+		return []ta.ClockConstraint{mk(cj, ci, dbm.LE(-k))}, nil
+	case "==":
+		return []ta.ClockConstraint{mk(ci, cj, dbm.LE(k)), mk(cj, ci, dbm.LE(-k))}, nil
+	default:
+		return nil, p.errf(l.no, "bad clock relation %q", op)
+	}
+}
+
+// constValue evaluates an integer literal or named constant (with optional
+// leading minus).
+func (p *fileParser) constValue(s string) (int32, error) {
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = strings.TrimSpace(s[1:])
+	}
+	var v int32
+	if c, ok := p.sys.Table.LookupConst(s); ok {
+		v = c
+	} else {
+		parsed, err := strconv.ParseInt(s, 10, 32)
+		if err != nil {
+			return 0, fmt.Errorf("%q is not a constant", s)
+		}
+		v = int32(parsed)
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+// parseUpdate splits a `do` list into clock resets and integer assignments.
+func (p *fileParser) parseUpdate(l line, src string) ([]ta.ClockReset, []expr.Assign, error) {
+	var resets []ta.ClockReset
+	var assigns []expr.Assign
+	for _, item := range splitTopLevel(src, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		lhs := item
+		if i := strings.Index(item, ":="); i >= 0 {
+			lhs = strings.TrimSpace(item[:i])
+		} else if i := strings.Index(item, "="); i >= 0 {
+			lhs = strings.TrimSpace(item[:i])
+		}
+		if ci, ok := p.sys.ClockIndex(lhs); ok {
+			i := strings.Index(item, "=")
+			rhs := strings.TrimSpace(strings.TrimPrefix(item[i+1:], "="))
+			v, err := p.constValue(rhs)
+			if err != nil {
+				return nil, nil, p.errf(l.no, "clock reset %q must assign a constant: %v", item, err)
+			}
+			resets = append(resets, ta.ClockReset{Clock: ci, Value: v})
+			continue
+		}
+		a, err := expr.ParseAssign(item, p.sys.Table)
+		if err != nil {
+			return nil, nil, p.errf(l.no, "bad assignment %q: %v", item, err)
+		}
+		assigns = append(assigns, a)
+	}
+	return resets, assigns, nil
+}
+
+// parseQuery handles `query exists <predicate>` where the predicate is a
+// conjunction of Automaton.location atoms and an integer expression.
+func (p *fileParser) parseQuery(l line) error {
+	if p.model.HasQuery {
+		return p.errf(l.no, "duplicate query")
+	}
+	text := strings.TrimSpace(strings.TrimPrefix(l.text, "query"))
+	if !strings.HasPrefix(text, "exists") {
+		return p.errf(l.no, "only `query exists <predicate>` is supported")
+	}
+	text = strings.TrimSpace(strings.TrimPrefix(text, "exists"))
+
+	goal := mc.Goal{Desc: "E<> " + text}
+	var intParts []string
+	for _, atom := range splitTopLevel(text, "&&") {
+		atom = strings.TrimSpace(atom)
+		if atom == "deadlock" {
+			goal.Deadlock = true
+			continue
+		}
+		if dot := strings.Index(atom, "."); dot >= 0 && isIdent(atom[:dot]) && isIdent(atom[dot+1:]) {
+			autoName, locName := atom[:dot], atom[dot+1:]
+			ai := -1
+			for i, a := range p.sys.Automata {
+				if a.Name == autoName {
+					ai = i
+				}
+			}
+			if ai < 0 {
+				return p.errf(l.no, "unknown automaton %q in query", autoName)
+			}
+			li, ok := p.sys.Automata[ai].LocationIndex(locName)
+			if !ok {
+				return p.errf(l.no, "unknown location %q in query", atom)
+			}
+			goal.Locs = append(goal.Locs, mc.LocRequirement{Automaton: ai, Location: li})
+			continue
+		}
+		intParts = append(intParts, "("+atom+")")
+	}
+	if len(intParts) > 0 {
+		e, err := expr.Parse(strings.Join(intParts, " && "), p.sys.Table)
+		if err != nil {
+			return p.errf(l.no, "bad query predicate: %v", err)
+		}
+		goal.Expr = e
+	}
+	p.model.Query = goal
+	p.model.HasQuery = true
+	return nil
+}
+
+// splitTopLevel splits src on sep outside parentheses and brackets.
+func splitTopLevel(src, sep string) []string {
+	var out []string
+	depth := 0
+	start := 0
+	for i := 0; i < len(src); i++ {
+		switch src[i] {
+		case '(', '[':
+			depth++
+		case ')', ']':
+			depth--
+		}
+		if depth == 0 && strings.HasPrefix(src[i:], sep) {
+			out = append(out, src[start:i])
+			i += len(sep) - 1
+			start = i + 1
+		}
+	}
+	out = append(out, src[start:])
+	return out
+}
+
+// identifiers extracts all identifier-like tokens.
+func identifiers(s string) []string {
+	var out []string
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		if c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') {
+			j := i
+			for j < len(s) && (s[j] == '_' || (s[j] >= 'a' && s[j] <= 'z') || (s[j] >= 'A' && s[j] <= 'Z') || (s[j] >= '0' && s[j] <= '9')) {
+				j++
+			}
+			out = append(out, s[i:j])
+			i = j
+			continue
+		}
+		i++
+	}
+	return out
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	ids := identifiers(s)
+	return len(ids) == 1 && ids[0] == s
+}

@@ -1,0 +1,223 @@
+package tadsl
+
+import (
+	"strings"
+	"testing"
+
+	"guidedta/internal/mc"
+)
+
+const trainGate = `
+system traingate
+
+const N 2
+int id 0
+clock x y
+chan go
+urgent chan hurry
+
+automaton Train {
+    init loc far
+    loc near { inv x <= 5 }
+    loc in { inv x <= 3 }
+    far -> near { guard x >= 3 && id == 0; sync go!; do x := 0, id := 1 }
+    near -> in { guard x >= 2 }
+    in -> far { do id := 0, x := 0 }
+}
+
+automaton Gate {
+    init loc up
+    loc down
+    up -> down { sync go? ; do y := 0 }
+    down -> up { guard y >= 4 }
+}
+
+query exists Train.in && id == 1
+`
+
+func TestParseTrainGate(t *testing.T) {
+	m, err := Parse(trainGate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Sys.Name != "traingate" {
+		t.Errorf("system name %q", m.Sys.Name)
+	}
+	st := m.Sys.Stats()
+	if st.Automata != 2 || st.Clocks != 2 || st.Channels != 2 {
+		t.Errorf("stats %v", st)
+	}
+	if !m.HasQuery {
+		t.Fatal("query not parsed")
+	}
+	res, err := mc.Explore(m.Sys, m.Query, mc.DefaultOptions(mc.BFS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Error("train should be able to enter the crossing")
+	}
+	steps, err := mc.Concretize(m.Sys, res.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first transition (go sync) cannot fire before x >= 3.
+	if steps[0].Time < 3*mc.Half {
+		t.Errorf("go fired at %s, want >= 3", mc.TimeString(steps[0].Time))
+	}
+}
+
+func TestParseArraysAndDiagonals(t *testing.T) {
+	src := `
+system arr
+int pos[3] 1
+clock x y
+automaton A {
+    init loc l0
+    loc l1
+    l0 -> l1 { guard x - y <= 2 && pos[0] == 1; do pos[2] := pos[0] + 1, x := 0 }
+}
+query exists A.l1 && pos[2] == 2
+`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mc.Explore(m.Sys, m.Query, mc.DefaultOptions(mc.DFS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Error("goal should be reachable")
+	}
+}
+
+func TestParseCommittedUrgentAndConstants(t *testing.T) {
+	src := `
+system cu
+const K 4
+clock x
+automaton A {
+    init loc l0
+    committed loc c0
+    urgent loc u0
+    loc end
+    l0 -> c0 { guard x >= K; do x := 0 }
+    c0 -> u0
+    u0 -> end
+}
+query exists A.end
+`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mc.Explore(m.Sys, m.Query, mc.DefaultOptions(mc.BFS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("goal unreachable")
+	}
+	steps, err := mc.Concretize(m.Sys, res.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The committed and urgent hops must happen at the same instant as the
+	// first transition (time 4).
+	for _, s := range steps {
+		if s.Time != 4*mc.Half {
+			t.Errorf("step at %s, want all at 4", mc.TimeString(s.Time))
+		}
+	}
+}
+
+func TestParseClockEquality(t *testing.T) {
+	src := `
+system eq
+clock x
+automaton A {
+    init loc l0 { inv x <= 7 }
+    loc l1
+    l0 -> l1 { guard x == 7 }
+}
+query exists A.l1
+`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mc.Explore(m.Sys, m.Query, mc.DefaultOptions(mc.BFS))
+	if err != nil || !res.Found {
+		t.Fatalf("explore: %v found=%v", err, res.Found)
+	}
+	steps, _ := mc.Concretize(m.Sys, res.Trace)
+	if steps[0].Time != 7*mc.Half {
+		t.Errorf("fired at %s, want exactly 7", mc.TimeString(steps[0].Time))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown directive":     "bogus x",
+		"no automata":           "system s\nclock x",
+		"bad const":             "const a b",
+		"unterminated":          "system s\nclock x\nautomaton A {\ninit loc l0",
+		"no init":               "system s\nautomaton A {\nloc l0\n}",
+		"dup location":          "system s\nautomaton A {\ninit loc l0\nloc l0\n}",
+		"unknown channel":       "system s\nautomaton A {\ninit loc a\nloc b\na -> b { sync nope! }\n}",
+		"unknown src":           "system s\nautomaton A {\ninit loc a\nz -> a\n}",
+		"unknown dst":           "system s\nautomaton A {\ninit loc a\na -> z\n}",
+		"sync without mark":     "system s\nchan c\nautomaton A {\ninit loc a\nloc b\na -> b { sync c }\n}",
+		"clock guard non-atom":  "system s\nclock x\nautomaton A {\ninit loc a\nloc b\na -> b { guard x }\n}",
+		"clock rhs not const":   "system s\nclock x\nint n\nautomaton A {\ninit loc a\nloc b\na -> b { guard x >= n }\n}",
+		"invariant with ints":   "system s\nclock x\nint n\nautomaton A {\ninit loc a { inv n <= 2 }\nloc b\n}",
+		"lower-bound invariant": "system s\nclock x\nautomaton A {\ninit loc a { inv x >= 2 }\nloc b\na -> b\n}",
+		"bad assignment":        "system s\nautomaton A {\ninit loc a\nloc b\na -> b { do 1 := 2 }\n}",
+		"clock reset non-const": "system s\nclock x\nint n\nautomaton A {\ninit loc a\nloc b\na -> b { do x := n }\n}",
+		"bad clause":            "system s\nautomaton A {\ninit loc a\nloc b\na -> b { frobnicate }\n}",
+		"query unknown auto":    "system s\nautomaton A {\ninit loc a\n}\nquery exists B.x",
+		"query unknown loc":     "system s\nautomaton A {\ninit loc a\n}\nquery exists A.x",
+		"duplicate query":       "system s\nautomaton A {\ninit loc a\n}\nquery exists A.a\nquery exists A.a",
+		"query not exists":      "system s\nautomaton A {\ninit loc a\n}\nquery forall A.a",
+		"dup init":              "system s\nautomaton A {\ninit loc a\ninit loc b\n}",
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Parse(src); err == nil {
+				t.Errorf("accepted bad model:\n%s", src)
+			}
+		})
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	src := `
+// a comment
+system c  // trailing comment
+
+clock x
+
+automaton A {
+    // inside
+    init loc a
+}
+`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.HasQuery {
+		t.Error("no query expected")
+	}
+}
+
+func TestSplitTopLevel(t *testing.T) {
+	got := splitTopLevel("a && (b && c) && d[i && j]", "&&")
+	if len(got) != 3 {
+		t.Fatalf("splitTopLevel = %q", got)
+	}
+	if strings.TrimSpace(got[1]) != "(b && c)" {
+		t.Errorf("middle = %q", got[1])
+	}
+}

@@ -1,0 +1,141 @@
+package tadsl
+
+import (
+	"strings"
+	"testing"
+
+	"guidedta/internal/mc"
+	"guidedta/internal/plant"
+)
+
+// TestWriteParseRoundTrip writes a parsed model back to text, re-parses
+// it, and checks that verification answers and traces agree.
+func TestWriteParseRoundTrip(t *testing.T) {
+	m1, err := Parse(trainGate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Write(&sb, m1.Sys, &m1.Query); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Parse(sb.String())
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, sb.String())
+	}
+
+	st1, st2 := m1.Sys.Stats(), m2.Sys.Stats()
+	if st1 != st2 {
+		t.Errorf("stats changed: %v vs %v", st1, st2)
+	}
+	r1, err := mc.Explore(m1.Sys, m1.Query, mc.DefaultOptions(mc.BFS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := mc.Explore(m2.Sys, m2.Query, mc.DefaultOptions(mc.BFS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Found != r2.Found {
+		t.Errorf("answers diverge after round trip: %v vs %v", r1.Found, r2.Found)
+	}
+	if r1.Stats.StatesExplored != r2.Stats.StatesExplored {
+		t.Errorf("exploration diverges: %d vs %d states",
+			r1.Stats.StatesExplored, r2.Stats.StatesExplored)
+	}
+	if r1.Found {
+		s1, err := mc.Concretize(m1.Sys, r1.Trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := mc.Concretize(m2.Sys, r2.Trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(s1) != len(s2) || s1[len(s1)-1].Time != s2[len(s2)-1].Time {
+			t.Error("traces diverge after round trip")
+		}
+	}
+}
+
+func TestWriteCoversDeclarations(t *testing.T) {
+	src := `
+system decls
+int a 3
+int arr[2] 5 6
+clock x
+chan c
+urgent chan u
+automaton A {
+    init loc l0 { inv x <= 4 }
+    committed loc c0
+    urgent loc u0
+    l0 -> c0 { guard x >= 1 && a == 3; sync c!; do arr[1] := a, x := 0 }
+    c0 -> u0 { sync u? }
+    u0 -> l0
+}
+automaton B {
+    init loc m0
+    m0 -> m0 { sync c? }
+    m0 -> m0 { sync u! }
+}
+query exists A.u0 && arr[1] == 3
+`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Write(&sb, m.Sys, &m.Query); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"int a 3", "int arr[2] 5 6", "clock x", "chan c", "urgent chan u",
+		"init loc l0 { inv x <= 4 }", "committed loc c0", "urgent loc u0",
+		"sync c!", "sync u?", "query exists A.u0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := Parse(out); err != nil {
+		t.Fatalf("round trip does not re-parse: %v\n%s", err, out)
+	}
+}
+
+// TestPlantModelRoundTrips exports the full 1-batch guided plant model to
+// the textual format, re-parses it, and checks the scheduling answer is
+// preserved — the parser and writer handle everything the paper's model
+// needs.
+func TestPlantModelRoundTrips(t *testing.T) {
+	p, err := plant.Build(plant.Config{
+		Qualities: []plant.Quality{plant.Q1},
+		Guides:    plant.AllGuides,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Write(&sb, p.Sys, &p.Goal); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Parse(sb.String())
+	if err != nil {
+		t.Fatalf("exported plant model does not re-parse: %v", err)
+	}
+	if !m.HasQuery {
+		t.Fatal("query lost in export")
+	}
+	st1, st2 := p.Sys.Stats(), m.Sys.Stats()
+	if st1 != st2 {
+		t.Fatalf("model changed in round trip: %v vs %v", st1, st2)
+	}
+	res, err := mc.Explore(m.Sys, m.Query, mc.DefaultOptions(mc.DFS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Error("re-parsed plant model has no schedule")
+	}
+}
