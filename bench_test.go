@@ -74,6 +74,48 @@ func BenchmarkTable1(b *testing.B) {
 	}
 }
 
+// exploreWorkers runs one search with a fixed explored-state budget and a
+// given worker count, reporting effort metrics. The MaxStates cap makes the
+// unguided cells a fixed workload so worker counts are comparable.
+func exploreWorkers(b *testing.B, n int, g plant.GuideLevel, order mc.SearchOrder, workers, maxStates int) {
+	b.Helper()
+	var last mc.Result
+	for i := 0; i < b.N; i++ {
+		p, err := plant.Build(plant.Config{Qualities: plant.CycleQualities(n), Guides: g})
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts := mc.DefaultOptions(order)
+		opts.MaxStates = maxStates
+		opts.Workers = workers
+		opts.Priority = p.Priority
+		last, err = mc.Explore(p.Sys, p.Goal, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(last.Stats.StatesExplored), "states/op")
+	b.ReportMetric(float64(last.Stats.Steals), "steals/op")
+}
+
+// BenchmarkTable1Parallel sweeps Options.Workers over parallel variants of
+// the Table 1 cells: the unguided two-batch BFS cell (the paper's "-" cell
+// that motivates parallel search; capped so every worker count expands the
+// same number of states) and the guided DFS cell (goal-directed, so it
+// measures parallel overhead on a search that ends almost immediately).
+func BenchmarkTable1Parallel(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("noneGuides/BFS/batches=2/workers=%d", w), func(b *testing.B) {
+			exploreWorkers(b, 2, plant.NoGuides, mc.BFS, w, 200_000)
+		})
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("allGuides/DFS/batches=3/workers=%d", w), func(b *testing.B) {
+			exploreWorkers(b, 3, plant.AllGuides, mc.DFS, w, 2_000_000)
+		})
+	}
+}
+
 // BenchmarkTable2Schedule measures trace concretization plus projection to
 // the Table 2 command schedule.
 func BenchmarkTable2Schedule(b *testing.B) {

@@ -32,6 +32,8 @@ func main() {
 		dot      = flag.String("dot", "", "write the named automaton as Graphviz DOT and exit")
 		maxState = flag.Int("max-states", 0, "abort after exploring this many states")
 		timeout  = flag.Duration("timeout", 0, "abort after this wall-clock duration")
+		workers  = flag.Int("workers", 1, "parallel search workers (bfs/dfs only; 1 = sequential)")
+		stats    = flag.Bool("stats", false, "print detailed search statistics (enables profiling)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -85,6 +87,8 @@ func main() {
 	opts.ActiveClocks = !*noActive
 	opts.MaxStates = *maxState
 	opts.Timeout = *timeout
+	opts.Workers = *workers
+	opts.Profile = *stats
 
 	start := time.Now()
 	res, err := mc.Explore(model.Sys, model.Query, opts)
@@ -103,6 +107,9 @@ func main() {
 		fmt.Println("NOT satisfied")
 	}
 	fmt.Printf("stats: %v (wall %v)\n", res.Stats, time.Since(start).Round(time.Millisecond))
+	if *stats {
+		printDetailedStats(res.Stats, *workers)
+	}
 
 	if res.Found && *trace {
 		steps, err := mc.Concretize(model.Sys, res.Trace)
@@ -112,6 +119,43 @@ func main() {
 		fmt.Println("trace:")
 		fmt.Print(mc.FormatTrace(model.Sys, steps))
 	}
+}
+
+// printDetailedStats renders the Profile-gated observability counters:
+// discrete-state and antichain shape, subsumption evictions, and — for the
+// parallel search — per-worker load and passed-store shard balance.
+func printDetailedStats(st mc.Stats, workers int) {
+	fmt.Printf("  discrete states: %d  antichain width: %.2f  evictions: %d  deadends: %d\n",
+		st.DiscreteStates, antichainWidth(st), st.Evictions, st.Deadends)
+	if workers > 1 {
+		fmt.Printf("  workers: %d  steals: %d\n", workers, st.Steals)
+	}
+	if len(st.WorkerExplored) > 0 {
+		fmt.Printf("  per-worker explored: %v\n", st.WorkerExplored)
+	}
+	if len(st.ShardOccupancy) > 0 {
+		min, max, used := st.ShardOccupancy[0], st.ShardOccupancy[0], 0
+		for _, c := range st.ShardOccupancy {
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+			if c > 0 {
+				used++
+			}
+		}
+		fmt.Printf("  store shards: %d/%d used, occupancy min/max %d/%d\n",
+			used, len(st.ShardOccupancy), min, max)
+	}
+}
+
+func antichainWidth(st mc.Stats) float64 {
+	if st.DiscreteStates == 0 {
+		return 0
+	}
+	return float64(st.StatesStored) / float64(st.DiscreteStates)
 }
 
 func fatal(err error) {

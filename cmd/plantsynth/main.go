@@ -34,6 +34,7 @@ func main() {
 		gantt     = flag.Bool("gantt", false, "print an ASCII Gantt chart of the schedule")
 		statsOnly = flag.Bool("stats", false, "print search statistics only")
 		maxStates = flag.Int("max-states", 0, "abort after exploring this many states")
+		workers   = flag.Int("workers", 1, "parallel search workers (bfs/dfs only; 1 = sequential)")
 		export    = flag.String("export", "", "write the built model in tadsl format to this file and exit")
 	)
 	flag.Parse()
@@ -71,6 +72,7 @@ func main() {
 
 	opts := mc.DefaultOptions(parseSearch(*search))
 	opts.MaxStates = *maxStates
+	opts.Workers = *workers
 	if opts.Search == mc.BestTime {
 		p, err := plant.Build(cfg)
 		if err != nil {

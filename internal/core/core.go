@@ -7,7 +7,10 @@
 // reachability to obtain a diagnostic trace, concretizes it into a
 // timestamped schedule, and compiles the schedule into an RCX control
 // program. Simulate then executes that program in the discrete-event LEGO
-// plant.
+// plant. The search options pass straight through to mc.Explore, so
+// mc.Options.Workers > 1 runs the parallel work-stealing search; any
+// witness trace it finds concretizes into a valid schedule exactly like a
+// sequential one.
 package core
 
 import (

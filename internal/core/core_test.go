@@ -32,6 +32,33 @@ func TestSynthesizeEndToEnd(t *testing.T) {
 	}
 }
 
+func TestSynthesizeParallelWorkers(t *testing.T) {
+	// The Workers knob threads through Synthesize untouched; a parallel
+	// search's witness must survive the whole pipeline (concretization,
+	// schedule projection, program synthesis, simulation).
+	cfg := plant.Config{
+		Qualities: plant.CycleQualities(2),
+		Guides:    plant.AllGuides,
+	}
+	opts := mc.DefaultOptions(mc.DFS)
+	opts.Workers = 4
+	res, err := Synthesize(cfg, opts, synth.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Search.Found || len(res.Schedule.Lines) == 0 || len(res.Program) == 0 {
+		t.Fatalf("incomplete result: found=%v lines=%d prog=%d",
+			res.Search.Found, len(res.Schedule.Lines), len(res.Program))
+	}
+	rep, err := res.Simulate(sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK(res.Plant.NumBatches()) {
+		t.Errorf("simulation: stored=%d violations=%v", rep.Stored, rep.Violations)
+	}
+}
+
 func TestSynthesizeReportsInfeasible(t *testing.T) {
 	// A deadline too short for even one batch: no schedule exists, and the
 	// error says so rather than claiming an abort.

@@ -2,13 +2,14 @@ package mc
 
 import (
 	"fmt"
-	"time"
 )
 
 // bitTable is a 2-bits-per-state Holzmann supertrace table: a state is
 // considered visited when both of its independently hashed bits are set.
 // False positives prune reachable states (under-approximation); there are
-// no false negatives, so any trace found is genuine.
+// no false negatives, so any trace found is genuine. The search layer uses
+// it through the bitStore adapter (see store.go), with a LIFO frontier:
+// exactly UPPAAL's bit-state hashing option in the paper.
 type bitTable struct {
 	bits []uint64
 	mask uint64
@@ -45,87 +46,3 @@ func (t *bitTable) visit(key []byte) bool {
 }
 
 func (t *bitTable) memBytes() int64 { return int64(len(t.bits) * 8) }
-
-// exploreBitState is depth-first search with the bit-state table replacing
-// the passed list. No inclusion checking is possible (only hashes are
-// stored), exactly like UPPAAL's bit-state hashing option in the paper.
-func exploreBitState(en *engine, goal Goal) (Result, error) {
-	start := time.Now()
-	res := Result{}
-	st := &res.Stats
-
-	table, err := newBitTable(en.opts.HashBits)
-	if err != nil {
-		return res, err
-	}
-
-	init, err := en.initial()
-	if err != nil {
-		return res, err
-	}
-	if !goal.Deadlock && goal.Satisfied(init.locs, init.env) {
-		res.Found = true
-		st.Duration = time.Since(start)
-		return res, nil
-	}
-
-	var keyBuf []byte
-	stateKey := func(n *node) []byte {
-		keyBuf = discreteKey(keyBuf[:0], n.locs, n.env)
-		if en.opts.CoarseHash {
-			return keyBuf
-		}
-		return n.zone.AppendBytes(keyBuf)
-	}
-
-	table.visit(stateKey(init))
-	stack := []*node{init}
-	var stackBytes int64 = init.memBytes()
-	var found *node
-
-	for len(stack) > 0 && found == nil {
-		if reason := en.checkLimits(start, st, table.memBytes()+stackBytes); reason != AbortNone {
-			res.Abort = reason
-			break
-		}
-		n := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		stackBytes -= n.memBytes()
-		st.StatesExplored++
-		hadSucc := false
-		en.successors(n, func(s *node) {
-			hadSucc = true
-			st.Transitions++
-			if found != nil {
-				return
-			}
-			if table.visit(stateKey(s)) {
-				return
-			}
-			st.StatesStored++
-			if !goal.Deadlock && goal.Satisfied(s.locs, s.env) {
-				found = s
-				return
-			}
-			stack = append(stack, s)
-			stackBytes += s.memBytes()
-			if len(stack) > st.PeakWaiting {
-				st.PeakWaiting = len(stack)
-			}
-		})
-		if !hadSucc {
-			st.Deadends++
-			if goal.Deadlock && goal.Satisfied(n.locs, n.env) {
-				found = n
-			}
-		}
-	}
-
-	st.MemBytes = table.memBytes() + stackBytes
-	st.Duration = time.Since(start)
-	if found != nil {
-		res.Found = true
-		res.Trace = traceOf(found)
-	}
-	return res, nil
-}

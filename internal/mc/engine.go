@@ -2,6 +2,7 @@ package mc
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"guidedta/internal/dbm"
 	"guidedta/internal/expr"
@@ -10,7 +11,8 @@ import (
 
 // node is one symbolic state in the search: a location vector, an integer
 // store, and a delay-closed, invariant-constrained, canonical zone. Nodes
-// form a tree via parent pointers for trace reconstruction.
+// form a tree via parent pointers for trace reconstruction. A node is
+// immutable after creation except for the subsumed flag.
 type node struct {
 	locs   []int32
 	env    []int32
@@ -19,8 +21,10 @@ type node struct {
 	via    Transition
 	depth  int
 	// subsumed marks nodes evicted from the passed store by a node with a
-	// larger zone; the search skips them when popped.
-	subsumed bool
+	// larger zone; the search skips them when popped. Atomic because in
+	// parallel search the store eviction and the frontier pop happen on
+	// different workers.
+	subsumed atomic.Bool
 }
 
 // memBytes estimates the heap footprint of the node for the explorer's
@@ -29,8 +33,10 @@ func (n *node) memBytes() int64 {
 	return int64(n.zone.MemBytes()) + int64(4*(len(n.locs)+len(n.env))) + 96
 }
 
-// engine holds the static data of one exploration: the system, search
-// options, extrapolation bounds and active-clock sets.
+// engine holds the immutable static data of one exploration: the system,
+// search options, extrapolation bounds and active-clock sets. It is shared
+// read-only between all workers; every mutable scratch buffer lives in an
+// engineCtx, so the state-successor operations are re-entrant.
 type engine struct {
 	sys      *ta.System
 	opts     Options
@@ -46,19 +52,46 @@ type engine struct {
 
 	// active[a][l] is the bitset of clocks active in location l of
 	// automaton a (nil unless ActiveClocks).
-	active     [][][]uint64
-	bitWords   int
-	scratchAct []uint64
+	active   [][][]uint64
+	bitWords int
 
 	// urgentSyncPossible caches whether any urgent channel exists at all.
 	hasUrgentChan bool
+}
+
+// engineCtx is the per-worker mutable half of the engine: every scratch
+// buffer the successor computation needs. The sequential search uses one
+// ctx; the parallel search gives each worker its own, so successors/fire/
+// extrapolate never share mutable state.
+type engineCtx struct {
+	en *engine
+
+	// scratchAct is the active-clock union bitset (ActiveClocks only).
+	scratchAct []uint64
 
 	// Per-channel sender/receiver candidate buffers, reused across states
 	// (plant models have hundreds of channels; allocating these per state
 	// would dominate).
 	sendBuf, recvBuf [][]syncCand
 	touchedChans     []int
+
+	// Per-channel enabled-urgent-sender buffers for urgency, reused the
+	// same way (this used to be a fresh [][]int per urgency check of every
+	// explored state).
+	urgSenders [][]int
+	urgTouched []int
+
+	// freeZones recycles DBMs of successor candidates that turned out
+	// empty, subsumed, or duplicate, so fire's per-successor Clone stops
+	// dominating allocation.
+	freeZones []*dbm.DBM
+
+	// keyBuf is the discrete-key scratch buffer.
+	keyBuf []byte
 }
+
+// maxFreeZones bounds the per-worker zone free-list.
+const maxFreeZones = 512
 
 // syncCand is an automaton/edge pair that can synchronize on a channel.
 type syncCand struct{ ai, ei int }
@@ -105,6 +138,15 @@ func newEngine(sys *ta.System, opts Options) (*engine, error) {
 	return en, nil
 }
 
+// newCtx creates a fresh worker context for this engine.
+func (en *engine) newCtx() *engineCtx {
+	ctx := &engineCtx{en: en}
+	if en.opts.ActiveClocks {
+		ctx.scratchAct = make([]uint64, en.bitWords)
+	}
+	return ctx
+}
+
 // computeActiveSets runs the per-automaton backward fixpoint of
 // Daws–Tripakis inactive-clock analysis: a clock is active in location l if
 // it can be tested (guard or invariant) before being reset on every path
@@ -114,7 +156,6 @@ func newEngine(sys *ta.System, opts Options) (*engine, error) {
 // set).
 func (en *engine) computeActiveSets() {
 	en.bitWords = (en.nClocks + 63) / 64
-	en.scratchAct = make([]uint64, en.bitWords)
 	en.active = make([][][]uint64, len(en.sys.Automata))
 	for ai, a := range en.sys.Automata {
 		sets := make([][]uint64, len(a.Locations))
@@ -161,14 +202,45 @@ func (en *engine) computeActiveSets() {
 	}
 }
 
+// cloneZone returns a copy of src, recycling a free-listed DBM when one is
+// available.
+func (c *engineCtx) cloneZone(src *dbm.DBM) *dbm.DBM {
+	if k := len(c.freeZones); k > 0 {
+		z := c.freeZones[k-1]
+		c.freeZones = c.freeZones[:k-1]
+		z.CopyFrom(src)
+		return z
+	}
+	return src.Clone()
+}
+
+// freeZone returns a zone to the free-list. Only zones that are provably
+// unreferenced (successor candidates that were never stored or pushed) may
+// be released.
+func (c *engineCtx) freeZone(z *dbm.DBM) {
+	if len(c.freeZones) < maxFreeZones {
+		c.freeZones = append(c.freeZones, z)
+	}
+}
+
+// releaseNode recycles the zone of a dropped successor candidate. The node
+// itself is left to the garbage collector.
+func (c *engineCtx) releaseNode(n *node) {
+	if n.zone != nil {
+		c.freeZone(n.zone)
+		n.zone = nil
+	}
+}
+
 // extrapolate normalizes a successor zone. With active-clock reduction,
 // clocks that cannot be tested before their next reset are freed (an O(n)
 // canonical-form-preserving operation, so the common case avoids the O(n³)
 // re-closure that arbitrary extrapolation needs); max-bound extrapolation
 // with the global per-clock maxima then bounds the remaining clocks.
-func (en *engine) extrapolate(locs []int32, z *dbm.DBM) bool {
+func (c *engineCtx) extrapolate(locs []int32, z *dbm.DBM) bool {
+	en := c.en
 	if en.opts.ActiveClocks {
-		act := en.scratchAct
+		act := c.scratchAct
 		for w := range act {
 			act[w] = 0
 		}
@@ -181,9 +253,9 @@ func (en *engine) extrapolate(locs []int32, z *dbm.DBM) bool {
 		if tc := en.opts.TimeClock; tc > 0 {
 			act[tc/64] |= 1 << (tc % 64) // global time stays observable
 		}
-		for c := 1; c < en.nClocks; c++ {
-			if act[c/64]&(1<<(c%64)) == 0 {
-				z.FreeClock(c)
+		for clk := 1; clk < en.nClocks; clk++ {
+			if act[clk/64]&(1<<(clk%64)) == 0 {
+				z.FreeClock(clk)
 			}
 		}
 	}
@@ -212,7 +284,8 @@ func (en *engine) applyInvariants(locs []int32, z *dbm.DBM) bool {
 // urgency classifies a discrete state: committed automata present, and
 // whether delay is forbidden (committed or urgent location, or an enabled
 // urgent-channel synchronization).
-func (en *engine) urgency(locs []int32, env []int32) (committed []int, noDelay bool) {
+func (c *engineCtx) urgency(locs []int32, env []int32) (committed []int, noDelay bool) {
+	en := c.en
 	for ai, a := range en.sys.Automata {
 		switch a.Locations[locs[ai]].Kind {
 		case ta.Committed:
@@ -228,8 +301,11 @@ func (en *engine) urgency(locs []int32, env []int32) (committed []int, noDelay b
 	// Check for an enabled urgent synchronization. Urgent-channel edges
 	// have no clock guards (enforced by Validate), so enabledness depends
 	// only on the integer state.
-	nch := en.sys.NumChannels()
-	senders := make([][]int, nch) // automata with an enabled urgent send
+	if c.urgSenders == nil {
+		c.urgSenders = make([][]int, en.sys.NumChannels())
+	}
+	senders := c.urgSenders
+	touched := c.urgTouched[:0]
 	for ai, a := range en.sys.Automata {
 		for _, ei := range a.OutEdges(int(locs[ai])) {
 			e := &a.Edges[ei]
@@ -237,10 +313,15 @@ func (en *engine) urgency(locs []int32, env []int32) (committed []int, noDelay b
 				continue
 			}
 			if expr.Truthy(e.IntGuard, env) {
+				if len(senders[e.Chan]) == 0 {
+					touched = append(touched, e.Chan)
+				}
 				senders[e.Chan] = append(senders[e.Chan], ai)
 			}
 		}
 	}
+	urgentSync := false
+outer:
 	for ai, a := range en.sys.Automata {
 		for _, ei := range a.OutEdges(int(locs[ai])) {
 			e := &a.Edges[ei]
@@ -252,39 +333,46 @@ func (en *engine) urgency(locs []int32, env []int32) (committed []int, noDelay b
 			}
 			for _, s := range senders[e.Chan] {
 				if s != ai {
-					return committed, true
+					urgentSync = true
+					break outer
 				}
 			}
 		}
 	}
-	return committed, noDelay
+	for _, ch := range touched {
+		senders[ch] = senders[ch][:0]
+	}
+	c.urgTouched = touched[:0]
+	return committed, noDelay || urgentSync
 }
 
 // finishZone completes a successor zone: target invariants, delay closure
 // when permitted, re-application of invariants, and extrapolation. Returns
 // false if the zone empties.
-func (en *engine) finishZone(locs []int32, env []int32, z *dbm.DBM) bool {
+func (c *engineCtx) finishZone(locs []int32, env []int32, z *dbm.DBM) bool {
+	en := c.en
 	if !en.applyInvariants(locs, z) {
 		return false
 	}
-	if _, noDelay := en.urgency(locs, env); !noDelay {
+	if _, noDelay := c.urgency(locs, env); !noDelay {
 		z.Up()
 		if !en.applyInvariants(locs, z) {
 			return false
 		}
 	}
-	return en.extrapolate(locs, z)
+	return c.extrapolate(locs, z)
 }
 
 // initial builds the initial symbolic state.
-func (en *engine) initial() (*node, error) {
+func (c *engineCtx) initial() (*node, error) {
+	en := c.en
 	locs := make([]int32, len(en.sys.Automata))
 	for ai, a := range en.sys.Automata {
 		locs[ai] = int32(a.Init)
 	}
 	env := en.sys.Table.NewEnv()
 	z := dbm.Zero(en.nClocks)
-	if !en.finishZone(locs, env, z) {
+	if !c.finishZone(locs, env, z) {
 		return nil, fmt.Errorf("mc: initial state violates invariants")
 	}
 	return &node{locs: locs, env: env, zone: z}, nil
@@ -293,7 +381,8 @@ func (en *engine) initial() (*node, error) {
 // fire attempts transition t from n: e1 (and e2 for syncs) must already be
 // known integer-enabled. Returns nil if clock guards or invariants make the
 // successor empty.
-func (en *engine) fire(n *node, t Transition) *node {
+func (c *engineCtx) fire(n *node, t Transition) *node {
+	en := c.en
 	a1 := en.sys.Automata[t.A1]
 	e1 := &a1.Edges[t.E1]
 	var e2 *ta.Edge
@@ -301,15 +390,17 @@ func (en *engine) fire(n *node, t Transition) *node {
 		e2 = &en.sys.Automata[t.A2].Edges[t.E2]
 	}
 
-	z := n.zone.Clone()
-	for _, c := range e1.ClockGuard {
-		if !z.Constrain(c.I, c.J, c.B) {
+	z := c.cloneZone(n.zone)
+	for _, cc := range e1.ClockGuard {
+		if !z.Constrain(cc.I, cc.J, cc.B) {
+			c.freeZone(z)
 			return nil
 		}
 	}
 	if e2 != nil {
-		for _, c := range e2.ClockGuard {
-			if !z.Constrain(c.I, c.J, c.B) {
+		for _, cc := range e2.ClockGuard {
+			if !z.Constrain(cc.I, cc.J, cc.B) {
+				c.freeZone(z)
 				return nil
 			}
 		}
@@ -339,7 +430,8 @@ func (en *engine) fire(n *node, t Transition) *node {
 		}
 	}
 
-	if !en.finishZone(locs, env, z) {
+	if !c.finishZone(locs, env, z) {
+		c.freeZone(z)
 		return nil
 	}
 	return &node{locs: locs, env: env, zone: z, parent: n, via: t, depth: n.depth + 1}
@@ -348,11 +440,12 @@ func (en *engine) fire(n *node, t Transition) *node {
 // successors enumerates all enabled transitions of n and yields the
 // resulting nodes. Committed-location semantics restrict transitions to
 // those leaving a committed location when any automaton is committed.
-func (en *engine) successors(n *node, yield func(*node)) {
-	committed, _ := en.urgency(n.locs, n.env)
+func (c *engineCtx) successors(n *node, yield func(*node)) {
+	en := c.en
+	committed, _ := c.urgency(n.locs, n.env)
 	isCommitted := func(ai int) bool {
-		for _, c := range committed {
-			if c == ai {
+		for _, cm := range committed {
+			if cm == ai {
 				return true
 			}
 		}
@@ -369,12 +462,12 @@ func (en *engine) successors(n *node, yield func(*node)) {
 	}
 
 	nch := en.sys.NumChannels()
-	if en.sendBuf == nil && nch > 0 {
-		en.sendBuf = make([][]syncCand, nch)
-		en.recvBuf = make([][]syncCand, nch)
+	if c.sendBuf == nil && nch > 0 {
+		c.sendBuf = make([][]syncCand, nch)
+		c.recvBuf = make([][]syncCand, nch)
 	}
-	senders, receivers := en.sendBuf, en.recvBuf
-	touched := en.touchedChans[:0]
+	senders, receivers := c.sendBuf, c.recvBuf
+	touched := c.touchedChans[:0]
 	touch := func(ch int) {
 		if len(senders[ch]) == 0 && len(receivers[ch]) == 0 {
 			touched = append(touched, ch)
@@ -389,8 +482,8 @@ func (en *engine) successors(n *node, yield func(*node)) {
 			}
 			// Cheap per-edge clock-guard satisfiability pre-check.
 			ok := true
-			for _, c := range e.ClockGuard {
-				if !n.zone.Satisfiable(c.I, c.J, c.B) {
+			for _, cc := range e.ClockGuard {
+				if !n.zone.Satisfiable(cc.I, cc.J, cc.B) {
 					ok = false
 					break
 				}
@@ -404,7 +497,7 @@ func (en *engine) successors(n *node, yield func(*node)) {
 				if !allowed(t) {
 					continue
 				}
-				if s := en.fire(n, t); s != nil {
+				if s := c.fire(n, t); s != nil {
 					yield(s)
 				}
 			case ta.Send:
@@ -427,7 +520,7 @@ func (en *engine) successors(n *node, yield func(*node)) {
 				if !allowed(t) {
 					continue
 				}
-				if succ := en.fire(n, t); succ != nil {
+				if succ := c.fire(n, t); succ != nil {
 					yield(succ)
 				}
 			}
@@ -437,7 +530,7 @@ func (en *engine) successors(n *node, yield func(*node)) {
 		senders[ch] = senders[ch][:0]
 		receivers[ch] = receivers[ch][:0]
 	}
-	en.touchedChans = touched[:0]
+	c.touchedChans = touched[:0]
 }
 
 // discreteKey serializes the discrete part of a state for passed-list
@@ -450,4 +543,15 @@ func discreteKey(buf []byte, locs, env []int32) []byte {
 		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
 	}
 	return buf
+}
+
+// stateKey builds the passed-store key for a node: the discrete part, plus
+// the zone for bit-state hashing without CoarseHash (BSH stores only
+// hashes, so the zone must be part of the identity).
+func (c *engineCtx) stateKey(n *node) []byte {
+	c.keyBuf = discreteKey(c.keyBuf[:0], n.locs, n.env)
+	if c.en.opts.Search == BSH && !c.en.opts.CoarseHash {
+		c.keyBuf = n.zone.AppendBytes(c.keyBuf)
+	}
+	return c.keyBuf
 }

@@ -1,135 +1,54 @@
 package mc
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 	"time"
 
-	"guidedta/internal/dbm"
 	"guidedta/internal/ta"
 )
 
 // Explore runs symbolic reachability analysis of goal on sys and returns
 // the result with a diagnostic trace when the goal is reachable. The system
-// is frozen if it is not already.
+// is frozen if it is not already. With Options.Workers > 1 and a BFS or
+// DFS order, the search runs in parallel (see exploreParallel); the answer
+// and abort semantics are identical to the sequential search, though which
+// witness trace is found may differ.
 func Explore(sys *ta.System, goal Goal, opts Options) (Result, error) {
 	en, err := newEngine(sys, opts)
 	if err != nil {
 		return Result{}, err
 	}
 	switch opts.Search {
-	case BFS, DFS, BestTime:
+	case BFS, DFS, BestTime, BSH:
 		if opts.Search == BestTime && opts.TimeClock <= 0 {
 			return Result{}, fmt.Errorf("mc: BestTime search requires Options.TimeClock")
 		}
-		return exploreList(en, goal)
-	case BSH:
-		return exploreBitState(en, goal)
+		if opts.Workers > 1 && (opts.Search == BFS || opts.Search == DFS) {
+			return exploreParallel(en, goal)
+		}
+		return exploreSeq(en, goal)
 	default:
 		return Result{}, fmt.Errorf("mc: unknown search order %v", opts.Search)
 	}
 }
 
-// passed is the unified passed/waiting state store (UPPAAL's PWList): per
-// discrete state, an antichain of maximal zones (with inclusion checking)
-// or a plain list (without). Nodes evicted by a subsuming newcomer are
-// flagged so the search skips them when they surface in the waiting list.
-type passed struct {
-	byKey     map[string][]*node
-	inclusion bool
-	count     int
-	bytes     int64
-}
+// waitingSlot is the accounted per-entry frontier overhead for nodes whose
+// bytes are already counted in the passed store (pointer plus slice
+// amortization).
+const waitingSlot = 16
 
-func newPassed(inclusion bool) *passed {
-	return &passed{byKey: make(map[string][]*node), inclusion: inclusion}
-}
-
-// add inserts the state unless it is subsumed; it reports whether the state
-// was new. With inclusion checking, stored states whose zones the new one
-// subsumes are evicted (and marked, so the waiting list drops them) to keep
-// only maximal zones.
-func (p *passed) add(key []byte, n *node) bool {
-	nodes := p.byKey[string(key)]
-	if p.inclusion {
-		kept := nodes[:0]
-		for _, old := range nodes {
-			if old.zone.Includes(n.zone) {
-				return false
-			}
-			if n.zone.Includes(old.zone) {
-				old.subsumed = true
-				p.count--
-				p.bytes -= int64(old.zone.MemBytes())
-				continue
-			}
-			kept = append(kept, old)
-		}
-		nodes = kept
-	} else {
-		for _, old := range nodes {
-			if old.zone.Equal(n.zone) {
-				return false
-			}
-		}
-	}
-	nodes = append(nodes, n)
-	p.byKey[string(key)] = nodes
-	p.count++
-	p.bytes += int64(n.zone.MemBytes()) + int64(len(key))
-	return true
-}
-
-// nodeHeap orders nodes by priority (min-heap) for BestTime search.
-type nodeHeap struct {
-	nodes []*node
-	prio  []int64
-}
-
-func (h *nodeHeap) Len() int           { return len(h.nodes) }
-func (h *nodeHeap) Less(i, j int) bool { return h.prio[i] < h.prio[j] }
-func (h *nodeHeap) Swap(i, j int) {
-	h.nodes[i], h.nodes[j] = h.nodes[j], h.nodes[i]
-	h.prio[i], h.prio[j] = h.prio[j], h.prio[i]
-}
-func (h *nodeHeap) Push(x any) { panic("unused") }
-func (h *nodeHeap) Pop() any   { panic("unused") }
-func (h *nodeHeap) push(n *node, p int64) {
-	h.nodes = append(h.nodes, n)
-	h.prio = append(h.prio, p)
-	heap.Fix(h, len(h.nodes)-1)
-}
-func (h *nodeHeap) pop() *node {
-	n := h.nodes[0]
-	last := len(h.nodes) - 1
-	h.Swap(0, last)
-	h.nodes = h.nodes[:last]
-	h.prio = h.prio[:last]
-	if last > 0 {
-		heap.Fix(h, 0)
-	}
-	return n
-}
-
-// minTime returns the lower bound of the designated global time clock in
-// the node's zone, the BestTime priority.
-func minTime(n *node, tc int) int64 {
-	b := n.zone.At(0, tc) // upper bound on -time
-	if b == dbm.Infinity {
-		return 0
-	}
-	return -int64(b.Value())
-}
-
-// exploreList is the common passed/waiting-list search (BFS, DFS,
-// BestTime).
-func exploreList(en *engine, goal Goal) (Result, error) {
+// exploreSeq is the sequential passed/waiting-list search, common to all
+// orders: the store (map antichain for BFS/DFS/BestTime, bit table for
+// BSH) and the frontier discipline are picked once and the loop is written
+// against their interfaces.
+func exploreSeq(en *engine, goal Goal) (Result, error) {
 	start := time.Now()
 	res := Result{}
 	st := &res.Stats
+	ctx := en.newCtx()
 
-	init, err := en.initial()
+	init, err := ctx.initial()
 	if err != nil {
 		return res, err
 	}
@@ -139,64 +58,50 @@ func exploreList(en *engine, goal Goal) (Result, error) {
 		return res, nil
 	}
 
-	store := newPassed(en.opts.Inclusion)
-	var keyBuf []byte
-
-	// Waiting list: FIFO for BFS, LIFO for DFS, heap for BestTime.
-	var fifo []*node
-	var fifoHead int
-	var hp nodeHeap
-	useHeap := en.opts.Search == BestTime
-
-	pushWaiting := func(n *node) {
-		if useHeap {
-			hp.push(n, minTime(n, en.opts.TimeClock))
-		} else {
-			fifo = append(fifo, n)
+	var store stateStore
+	if en.opts.Search == BSH {
+		table, err := newBitTable(en.opts.HashBits)
+		if err != nil {
+			return res, err
 		}
-		if w := waitingLen(fifo, fifoHead, &hp, useHeap); w > st.PeakWaiting {
-			st.PeakWaiting = w
-		}
+		store = &bitStore{table: table}
+	} else {
+		store = newMapStore(en.opts.Inclusion)
 	}
-	popWaiting := func() *node {
-		if useHeap {
-			return hp.pop()
+	front := newFrontier(en.opts)
+
+	// Memory accounting: nodes retained by the store are counted there
+	// exactly once, and waiting entries add only slot overhead; with the
+	// bit table the store holds no nodes, so the frontier carries the full
+	// node bytes (and gets them back on pop).
+	retained := store.retainsNodes()
+	waitingCost := func(n *node) int64 {
+		if retained {
+			return waitingSlot
 		}
-		if en.opts.Search == BFS {
-			n := fifo[fifoHead]
-			fifo[fifoHead] = nil
-			fifoHead++
-			if fifoHead > 4096 && fifoHead*2 > len(fifo) {
-				fifo = append(fifo[:0], fifo[fifoHead:]...)
-				fifoHead = 0
-			}
-			return n
-		}
-		n := fifo[len(fifo)-1]
-		fifo = fifo[:len(fifo)-1]
-		return n
-	}
-	waitingEmpty := func() bool {
-		if useHeap {
-			return hp.Len() == 0
-		}
-		return fifoHead >= len(fifo)
+		return n.memBytes()
 	}
 
-	keyBuf = discreteKey(keyBuf[:0], init.locs, init.env)
-	store.add(keyBuf, init)
-	pushWaiting(init)
+	store.add(ctx.stateKey(init), init)
+	front.push(init)
+	waitingBytes := waitingCost(init)
+
+	// The plant's Priority heuristic orders successor exploration; BSH
+	// keeps its historical yield order (priorities were never applied to
+	// the supertrace search and reordering would change which states its
+	// lossy table prunes).
+	usePriority := en.opts.Priority != nil && en.opts.Search != BSH
 
 	var found *node
 	var succBuf []*node
-	var waitingBytes int64 = init.memBytes()
-	for !waitingEmpty() && found == nil {
-		if reason := en.checkLimits(start, st, store.bytes+waitingBytes); reason != AbortNone {
+	for front.len() > 0 && found == nil {
+		if reason := en.checkLimits(start, st, store.stats().bytes+waitingBytes); reason != AbortNone {
 			res.Abort = reason
 			break
 		}
-		n := popWaiting()
-		if n.subsumed {
+		n := front.pop()
+		waitingBytes -= waitingCost(n)
+		if n.subsumed.Load() {
 			continue // a larger zone took over this discrete state
 		}
 		st.StatesExplored++
@@ -205,7 +110,7 @@ func exploreList(en *engine, goal Goal) (Result, error) {
 		}
 		hadSucc := false
 		succBuf = succBuf[:0]
-		en.successors(n, func(s *node) {
+		ctx.successors(n, func(s *node) {
 			hadSucc = true
 			st.Transitions++
 			if en.opts.Profile {
@@ -215,10 +120,11 @@ func exploreList(en *engine, goal Goal) (Result, error) {
 				st.ByAutomaton[s.via.A1]++
 			}
 			if found != nil {
+				ctx.releaseNode(s)
 				return
 			}
-			keyBuf = discreteKey(keyBuf[:0], s.locs, s.env)
-			if !store.add(keyBuf, s) {
+			if !store.add(ctx.stateKey(s), s) {
+				ctx.releaseNode(s)
 				return
 			}
 			if !goal.Deadlock && goal.Satisfied(s.locs, s.env) {
@@ -227,7 +133,7 @@ func exploreList(en *engine, goal Goal) (Result, error) {
 			}
 			succBuf = append(succBuf, s)
 		})
-		if en.opts.Priority != nil && len(succBuf) > 1 {
+		if usePriority && len(succBuf) > 1 {
 			// Order so that higher-priority transitions are explored
 			// first: DFS pops the last push, BFS the first.
 			prio := en.opts.Priority
@@ -242,8 +148,11 @@ func exploreList(en *engine, goal Goal) (Result, error) {
 			}
 		}
 		for _, s := range succBuf {
-			waitingBytes += s.memBytes()
-			pushWaiting(s)
+			waitingBytes += waitingCost(s)
+			front.push(s)
+		}
+		if w := front.len(); w > st.PeakWaiting {
+			st.PeakWaiting = w
 		}
 		if !hadSucc {
 			st.Deadends++
@@ -256,22 +165,17 @@ func exploreList(en *engine, goal Goal) (Result, error) {
 		}
 	}
 
-	st.StatesStored = store.count
-	st.DiscreteStates = len(store.byKey)
-	st.MemBytes = store.bytes + waitingBytes
+	ss := store.stats()
+	st.StatesStored = ss.count
+	st.DiscreteStates = ss.discrete
+	st.Evictions = ss.evictions
+	st.MemBytes = ss.bytes + waitingBytes
 	st.Duration = time.Since(start)
 	if found != nil {
 		res.Found = true
 		res.Trace = traceOf(found)
 	}
 	return res, nil
-}
-
-func waitingLen(fifo []*node, head int, hp *nodeHeap, useHeap bool) int {
-	if useHeap {
-		return hp.Len()
-	}
-	return len(fifo) - head
 }
 
 // checkLimits enforces the state/memory/timeout cutoffs, checking the clock

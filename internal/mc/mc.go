@@ -72,6 +72,14 @@ type Options struct {
 	// ActiveClocks enables (in-)active clock reduction: clocks that cannot
 	// be tested before their next reset are freed per location vector.
 	ActiveClocks bool
+	// Workers sets the number of parallel search workers for the BFS and
+	// DFS orders (0 or 1 = sequential). Workers own per-worker deques and
+	// steal work from each other, deduplicating through a lock-striped
+	// sharded passed store; Found/Abort semantics are identical to the
+	// sequential search, though which witness trace is found may differ.
+	// BSH and BestTime always run sequentially (the bit table and the
+	// global best-first order are inherently serial here).
+	Workers int
 	// MaxStates aborts the search after exploring this many states
 	// (0 = unlimited).
 	MaxStates int
@@ -147,6 +155,18 @@ type Stats struct {
 	// integer stores) in the passed list; StatesStored / DiscreteStates is
 	// the average zone-antichain width.
 	DiscreteStates int
+	// Evictions counts passed-store nodes evicted by a subsuming newcomer
+	// (inclusion checking only).
+	Evictions int64
+	// Steals counts work-stealing events between parallel workers
+	// (Workers > 1 only).
+	Steals int64
+	// ShardOccupancy is the per-shard discrete-state count of the sharded
+	// passed store (parallel search with Profile only).
+	ShardOccupancy []int
+	// WorkerExplored counts states expanded per worker (parallel search
+	// with Profile only).
+	WorkerExplored []int
 }
 
 // String implements fmt.Stringer.

@@ -1,0 +1,409 @@
+package mc
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// exploreParallel is the work-stealing parallel variant of exploreSeq for
+// the BFS and DFS orders: Options.Workers workers each own a deque of
+// waiting nodes and an engineCtx (so successor computation never shares
+// mutable scratch), deduplicate through the lock-striped sharded store,
+// and stop on the first goal hit. Found/Abort semantics are identical to
+// the sequential search — reachability answers cannot depend on
+// exploration order, and any reported trace replays and concretizes the
+// same way — though which witness trace is found may differ, as may effort
+// statistics.
+func exploreParallel(en *engine, goal Goal) (Result, error) {
+	start := time.Now()
+	res := Result{}
+
+	initCtx := en.newCtx()
+	init, err := initCtx.initial()
+	if err != nil {
+		return res, err
+	}
+	if !goal.Deadlock && goal.Satisfied(init.locs, init.env) {
+		res.Found = true
+		res.Stats.Duration = time.Since(start)
+		return res, nil
+	}
+
+	nw := en.opts.Workers
+	ps := &parSearch{
+		en:      en,
+		goal:    goal,
+		store:   newShardedStore(en.opts.Inclusion),
+		start:   start,
+		deques:  make([]deque, nw),
+		workers: make([]parWorker, nw),
+	}
+	ps.store.add(discreteKey(nil, init.locs, init.env), init)
+	ps.pending.Store(1)
+	ps.deques[0].pushBatch([]*node{init})
+
+	var wg sync.WaitGroup
+	for i := 0; i < nw; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			ps.run(id)
+		}(i)
+	}
+	wg.Wait()
+
+	st := &res.Stats
+	st.StatesExplored = int(ps.explored.Load())
+	for i := range ps.workers {
+		w := &ps.workers[i]
+		st.Transitions += w.transitions
+		st.Deadends += w.deadends
+		st.Steals += w.steals
+		// PeakWaiting is the sum of per-worker peaks: an upper bound on
+		// the true global peak, good enough for effort reporting.
+		st.PeakWaiting += w.peakWaiting
+		if w.byAutomaton != nil {
+			if st.ByAutomaton == nil {
+				st.ByAutomaton = make([]int, len(en.sys.Automata))
+			}
+			for ai, c := range w.byAutomaton {
+				st.ByAutomaton[ai] += c
+			}
+		}
+	}
+	ss := ps.store.stats()
+	st.StatesStored = ss.count
+	st.DiscreteStates = ss.discrete
+	st.Evictions = ss.evictions
+	st.MemBytes = ss.bytes + int64(st.PeakWaiting)*waitingSlot
+	if en.opts.Profile {
+		st.ShardOccupancy = ps.store.occupancy()
+		st.WorkerExplored = make([]int, nw)
+		for i := range ps.workers {
+			st.WorkerExplored[i] = ps.workers[i].explored
+		}
+	}
+	st.Duration = time.Since(start)
+
+	ps.mu.Lock()
+	goalNode, abort := ps.goalNode, ps.abortReason
+	ps.mu.Unlock()
+	if goalNode != nil {
+		res.Found = true
+		res.Trace = traceOf(goalNode)
+	} else {
+		res.Abort = abort
+	}
+	return res, nil
+}
+
+// parSearch is the shared state of one parallel exploration.
+type parSearch struct {
+	en    *engine
+	goal  Goal
+	store *shardedStore
+	start time.Time
+
+	deques  []deque
+	workers []parWorker
+
+	// pending counts nodes that are queued or being expanded; the search
+	// is exhausted when it reaches zero.
+	pending  atomic.Int64
+	explored atomic.Int64
+	stop     atomic.Bool
+
+	// mu guards the terminal outcome and serializes the Inspect hooks
+	// (which were specified for the sequential search).
+	mu          sync.Mutex
+	goalNode    *node
+	abortReason AbortReason
+}
+
+// parWorker is the per-worker statistics block, written only by its owner
+// until the workers have joined.
+type parWorker struct {
+	explored    int
+	transitions int
+	deadends    int
+	steals      int64
+	peakWaiting int
+	byAutomaton []int
+}
+
+// found records the first goal hit and stops all workers.
+func (ps *parSearch) found(n *node) {
+	ps.mu.Lock()
+	if ps.goalNode == nil {
+		ps.goalNode = n
+	}
+	ps.mu.Unlock()
+	ps.stop.Store(true)
+}
+
+// abort records the first limit violation and stops all workers. A goal
+// found concurrently wins (matching the sequential search, which checks
+// limits only between expansions).
+func (ps *parSearch) abort(reason AbortReason) {
+	ps.mu.Lock()
+	if ps.abortReason == AbortNone {
+		ps.abortReason = reason
+	}
+	ps.mu.Unlock()
+	ps.stop.Store(true)
+}
+
+// checkLimits is the parallel analogue of engine.checkLimits, driven by
+// the shared atomic counters.
+func (ps *parSearch) checkLimits() {
+	opts := &ps.en.opts
+	if opts.MaxStates > 0 && int(ps.explored.Load()) >= opts.MaxStates {
+		ps.abort(AbortStates)
+		return
+	}
+	if opts.MaxMemory > 0 && ps.store.memBytes() > opts.MaxMemory {
+		ps.abort(AbortMemory)
+		return
+	}
+	if opts.Timeout > 0 && time.Since(ps.start) > opts.Timeout {
+		ps.abort(AbortTimeout)
+	}
+}
+
+// run is one worker's loop: pop from the own deque, steal when empty, quit
+// when the search is stopped or globally exhausted.
+func (ps *parSearch) run(id int) {
+	ctx := ps.en.newCtx()
+	w := &ps.workers[id]
+	my := &ps.deques[id]
+	bfs := ps.en.opts.Search == BFS
+	var succBuf []*node
+	idle := 0
+	for {
+		if ps.stop.Load() {
+			return
+		}
+		var n *node
+		if bfs {
+			n = my.popHead()
+		} else {
+			n = my.popTail()
+		}
+		if n == nil {
+			n = ps.trySteal(id, w)
+		}
+		if n == nil {
+			if ps.pending.Load() == 0 {
+				return
+			}
+			// Another worker still holds work; yield, then back off, and
+			// keep the timeout observable while idle.
+			idle++
+			if idle%256 == 0 {
+				ps.checkLimits()
+			}
+			if idle < 64 {
+				runtime.Gosched()
+			} else {
+				time.Sleep(20 * time.Microsecond)
+			}
+			continue
+		}
+		idle = 0
+		succBuf = ps.expand(ctx, w, my, n, succBuf)
+	}
+}
+
+// trySteal takes a batch of nodes from another worker's deque, keeps the
+// first, and queues the rest locally.
+func (ps *parSearch) trySteal(id int, w *parWorker) *node {
+	nw := len(ps.deques)
+	for off := 1; off < nw; off++ {
+		victim := &ps.deques[(id+off)%nw]
+		batch := victim.stealHalf()
+		if len(batch) == 0 {
+			continue
+		}
+		w.steals++
+		if len(batch) > 1 {
+			ps.deques[id].pushBatch(batch[1:])
+		}
+		return batch[0]
+	}
+	return nil
+}
+
+// expand generates and enqueues the successors of n. It returns the reused
+// successor buffer.
+func (ps *parSearch) expand(ctx *engineCtx, w *parWorker, my *deque, n *node, succBuf []*node) []*node {
+	if n.subsumed.Load() {
+		ps.pending.Add(-1)
+		return succBuf
+	}
+	en := ps.en
+	// Limit checks mirror the sequential loop: states and memory before
+	// every expansion, the clock only periodically.
+	opts := &en.opts
+	if opts.MaxStates > 0 && int(ps.explored.Load()) >= opts.MaxStates {
+		ps.abort(AbortStates)
+		ps.pending.Add(-1)
+		return succBuf
+	}
+	if opts.MaxMemory > 0 && ps.store.memBytes() > opts.MaxMemory {
+		ps.abort(AbortMemory)
+		ps.pending.Add(-1)
+		return succBuf
+	}
+	cnt := ps.explored.Add(1)
+	w.explored++
+	if opts.Timeout > 0 && cnt%64 == 0 && time.Since(ps.start) > opts.Timeout {
+		ps.abort(AbortTimeout)
+		ps.pending.Add(-1)
+		return succBuf
+	}
+	if en.opts.Inspect != nil {
+		ps.mu.Lock()
+		en.opts.Inspect(n.locs, n.env, n.depth)
+		ps.mu.Unlock()
+	}
+	hadSucc := false
+	succBuf = succBuf[:0]
+	ctx.successors(n, func(s *node) {
+		hadSucc = true
+		w.transitions++
+		if en.opts.Profile {
+			if w.byAutomaton == nil {
+				w.byAutomaton = make([]int, len(en.sys.Automata))
+			}
+			w.byAutomaton[s.via.A1]++
+		}
+		if ps.stop.Load() {
+			ctx.releaseNode(s)
+			return
+		}
+		ctx.keyBuf = discreteKey(ctx.keyBuf[:0], s.locs, s.env)
+		if !ps.store.add(ctx.keyBuf, s) {
+			ctx.releaseNode(s)
+			return
+		}
+		if !ps.goal.Deadlock && ps.goal.Satisfied(s.locs, s.env) {
+			ps.found(s)
+			return
+		}
+		succBuf = append(succBuf, s)
+	})
+	if en.opts.Priority != nil && len(succBuf) > 1 {
+		prio := en.opts.Priority
+		if en.opts.Search == DFS {
+			sort.SliceStable(succBuf, func(i, j int) bool {
+				return prio(succBuf[i].via) < prio(succBuf[j].via)
+			})
+		} else {
+			sort.SliceStable(succBuf, func(i, j int) bool {
+				return prio(succBuf[i].via) > prio(succBuf[j].via)
+			})
+		}
+	}
+	if len(succBuf) > 0 {
+		ps.pending.Add(int64(len(succBuf)))
+		my.pushBatch(succBuf)
+		if l := my.len(); l > w.peakWaiting {
+			w.peakWaiting = l
+		}
+	}
+	if !hadSucc {
+		w.deadends++
+		if en.opts.InspectDeadend != nil {
+			ps.mu.Lock()
+			en.opts.InspectDeadend(n.locs, n.env, n.depth)
+			ps.mu.Unlock()
+		}
+		if ps.goal.Deadlock && ps.goal.Satisfied(n.locs, n.env) {
+			ps.found(n)
+		}
+	}
+	ps.pending.Add(-1)
+	return succBuf
+}
+
+// deque is a mutex-guarded work deque. The owner pushes at the tail and
+// pops at the tail (DFS) or head (BFS); thieves always take a batch from
+// the head, which holds the oldest nodes — the roots of the largest
+// unexplored subtrees under DFS, and the lowest depths under BFS.
+type deque struct {
+	mu   sync.Mutex
+	q    []*node
+	head int
+}
+
+func (d *deque) pushBatch(ns []*node) {
+	d.mu.Lock()
+	d.q = append(d.q, ns...)
+	d.mu.Unlock()
+}
+
+func (d *deque) popTail() *node {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.head >= len(d.q) {
+		return nil
+	}
+	n := d.q[len(d.q)-1]
+	d.q[len(d.q)-1] = nil
+	d.q = d.q[:len(d.q)-1]
+	return n
+}
+
+func (d *deque) popHead() *node {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.head >= len(d.q) {
+		return nil
+	}
+	n := d.q[d.head]
+	d.q[d.head] = nil
+	d.head++
+	d.compact()
+	return n
+}
+
+// stealHalf removes up to half of the deque (at least one node, at most
+// 64) from the head and returns it as a fresh slice.
+func (d *deque) stealHalf() []*node {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	avail := len(d.q) - d.head
+	if avail == 0 {
+		return nil
+	}
+	k := (avail + 1) / 2
+	if k > 64 {
+		k = 64
+	}
+	batch := make([]*node, k)
+	copy(batch, d.q[d.head:d.head+k])
+	for i := d.head; i < d.head+k; i++ {
+		d.q[i] = nil
+	}
+	d.head += k
+	d.compact()
+	return batch
+}
+
+func (d *deque) len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.q) - d.head
+}
+
+// compact drops the popped prefix once it dominates the backing array.
+// Callers must hold d.mu.
+func (d *deque) compact() {
+	if d.head > 4096 && d.head*2 > len(d.q) {
+		d.q = append(d.q[:0], d.q[d.head:]...)
+		d.head = 0
+	}
+}

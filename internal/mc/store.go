@@ -1,0 +1,193 @@
+package mc
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// storeStats is a snapshot of a stateStore's bookkeeping.
+type storeStats struct {
+	count     int   // states currently stored
+	discrete  int   // distinct discrete states (0 when the store cannot tell)
+	bytes     int64 // accounted heap bytes of the store, including stored nodes
+	evictions int64 // nodes evicted by a subsuming newcomer
+}
+
+// stateStore is the passed-store seam of the search layer: it deduplicates
+// (and, with inclusion checking, subsumes) symbolic states. add reports
+// whether the state was new; a false return means the caller may drop the
+// node entirely.
+type stateStore interface {
+	add(key []byte, n *node) bool
+	stats() storeStats
+	// retainsNodes reports whether added nodes stay referenced by the store
+	// after leaving the frontier (PWList semantics). It drives the memory
+	// accounting: retained nodes are counted once in the store, and the
+	// frontier adds only per-entry overhead; non-retaining stores (the bit
+	// table) leave the node bytes on the frontier's account.
+	retainsNodes() bool
+}
+
+// mapStore is the map-backed passed/waiting store (UPPAAL's PWList): per
+// discrete state, an antichain of maximal zones (with inclusion checking)
+// or a plain list (without). Nodes evicted by a subsuming newcomer are
+// flagged so the frontier drops them when they surface. Not safe for
+// concurrent use; shardedStore wraps it for the parallel search.
+type mapStore struct {
+	byKey     map[string][]*node
+	inclusion bool
+	count     int
+	bytes     int64
+	evictions int64
+}
+
+func newMapStore(inclusion bool) *mapStore {
+	return &mapStore{byKey: make(map[string][]*node), inclusion: inclusion}
+}
+
+// add inserts the state unless it is subsumed; it reports whether the state
+// was new. With inclusion checking, stored states whose zones the new one
+// subsumes are evicted (and marked, so the frontier drops them) to keep
+// only maximal zones.
+func (p *mapStore) add(key []byte, n *node) bool {
+	nodes := p.byKey[string(key)]
+	if p.inclusion {
+		kept := nodes[:0]
+		for _, old := range nodes {
+			if old.zone.Includes(n.zone) {
+				return false
+			}
+			if n.zone.Includes(old.zone) {
+				old.subsumed.Store(true)
+				p.count--
+				p.bytes -= old.memBytes()
+				p.evictions++
+				continue
+			}
+			kept = append(kept, old)
+		}
+		nodes = kept
+	} else {
+		for _, old := range nodes {
+			if old.zone.Equal(n.zone) {
+				return false
+			}
+		}
+	}
+	nodes = append(nodes, n)
+	p.byKey[string(key)] = nodes
+	p.count++
+	p.bytes += n.memBytes() + int64(len(key))
+	return true
+}
+
+func (p *mapStore) stats() storeStats {
+	return storeStats{count: p.count, discrete: len(p.byKey), bytes: p.bytes, evictions: p.evictions}
+}
+
+func (p *mapStore) retainsNodes() bool { return true }
+
+// bitStore adapts the 2-bit Holzmann supertrace table to the stateStore
+// seam: only hashes are stored, so there is no inclusion checking and
+// popped nodes are not retained.
+type bitStore struct {
+	table *bitTable
+	count int
+}
+
+func (b *bitStore) add(key []byte, n *node) bool {
+	if b.table.visit(key) {
+		return false
+	}
+	b.count++
+	return true
+}
+
+func (b *bitStore) stats() storeStats {
+	return storeStats{count: b.count, bytes: b.table.memBytes()}
+}
+
+func (b *bitStore) retainsNodes() bool { return false }
+
+// storeShards is the shard count of the lock-striped store (a power of
+// two). 64 shards keep contention negligible for any realistic worker
+// count while the per-shard maps stay dense.
+const storeShards = 64
+
+// shardedStore is the concurrent stateStore of the parallel search: keys
+// hash to one of storeShards mapStores, each behind its own mutex, so
+// workers adding states in disjoint regions of the state space never
+// contend. The byte total is mirrored in an atomic so the memory-limit
+// check never takes a lock.
+type shardedStore struct {
+	shards     [storeShards]storeShard
+	totalBytes atomic.Int64
+}
+
+type storeShard struct {
+	mu sync.Mutex
+	m  *mapStore
+	// padding to keep shard mutexes on separate cache lines.
+	_ [40]byte
+}
+
+func newShardedStore(inclusion bool) *shardedStore {
+	s := &shardedStore{}
+	for i := range s.shards {
+		s.shards[i].m = newMapStore(inclusion)
+	}
+	return s
+}
+
+// shardOf picks the shard for a key; the seed differs from the bit-state
+// hash seeds so BSH tables and shard selection stay independent.
+func shardOf(key []byte) int {
+	return int(fnv1a(0x517cc1b727220a95, key) & (storeShards - 1))
+}
+
+func (s *shardedStore) add(key []byte, n *node) bool {
+	sh := &s.shards[shardOf(key)]
+	sh.mu.Lock()
+	before := sh.m.bytes
+	ok := sh.m.add(key, n)
+	delta := sh.m.bytes - before
+	sh.mu.Unlock()
+	if delta != 0 {
+		s.totalBytes.Add(delta)
+	}
+	return ok
+}
+
+func (s *shardedStore) stats() storeStats {
+	var total storeStats
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		st := sh.m.stats()
+		sh.mu.Unlock()
+		total.count += st.count
+		total.discrete += st.discrete
+		total.bytes += st.bytes
+		total.evictions += st.evictions
+	}
+	return total
+}
+
+func (s *shardedStore) retainsNodes() bool { return true }
+
+// memBytes returns the accounted byte total without locking any shard, for
+// the workers' periodic memory-limit checks.
+func (s *shardedStore) memBytes() int64 { return s.totalBytes.Load() }
+
+// occupancy returns the per-shard discrete-state counts, the Profile
+// observability hook for shard balance.
+func (s *shardedStore) occupancy() []int {
+	occ := make([]int, storeShards)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		occ[i] = len(sh.m.byKey)
+		sh.mu.Unlock()
+	}
+	return occ
+}
