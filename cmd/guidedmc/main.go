@@ -26,6 +26,7 @@ func main() {
 		search   = flag.String("search", "dfs", "search order: bfs, dfs, bsh, or besttime")
 		hashBits = flag.Int("hashbits", 22, "bit-state hash table size (2^n bits, bsh only)")
 		noIncl   = flag.Bool("no-inclusion", false, "disable zone inclusion checking")
+		compact  = flag.Bool("compact", false, "store passed zones in minimal-constraint form (lower memory, same answers)")
 		noActive = flag.Bool("no-active", false, "disable (in-)active clock reduction")
 		trace    = flag.Bool("trace", false, "print the concretized diagnostic trace")
 		dump     = flag.Bool("dump", false, "pretty-print the parsed model and exit")
@@ -84,6 +85,7 @@ func main() {
 	}
 	opts.HashBits = *hashBits
 	opts.Inclusion = !*noIncl
+	opts.Compact = *compact
 	opts.ActiveClocks = !*noActive
 	opts.MaxStates = *maxState
 	opts.Timeout = *timeout
@@ -127,6 +129,13 @@ func main() {
 func printDetailedStats(st mc.Stats, workers int) {
 	fmt.Printf("  discrete states: %d  antichain width: %.2f  evictions: %d  deadends: %d\n",
 		st.DiscreteStates, antichainWidth(st), st.Evictions, st.Deadends)
+	if st.StoreBytes > 0 {
+		fmt.Printf("  passed store: %.1fKB  bytes/state: %.0f", float64(st.StoreBytes)/1024, st.BytesPerStoredState())
+		if st.AvgZoneConstraints > 0 {
+			fmt.Printf("  avg constraints/zone: %.1f", st.AvgZoneConstraints)
+		}
+		fmt.Println()
+	}
 	if workers > 1 {
 		fmt.Printf("  workers: %d  steals: %d\n", workers, st.Steals)
 	}

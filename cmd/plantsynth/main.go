@@ -35,6 +35,7 @@ func main() {
 		statsOnly = flag.Bool("stats", false, "print search statistics only")
 		maxStates = flag.Int("max-states", 0, "abort after exploring this many states")
 		workers   = flag.Int("workers", 1, "parallel search workers (bfs/dfs only; 1 = sequential)")
+		compact   = flag.Bool("compact", false, "store passed zones in minimal-constraint form (lower memory, same schedules)")
 		export    = flag.String("export", "", "write the built model in tadsl format to this file and exit")
 	)
 	flag.Parse()
@@ -73,6 +74,7 @@ func main() {
 	opts := mc.DefaultOptions(parseSearch(*search))
 	opts.MaxStates = *maxStates
 	opts.Workers = *workers
+	opts.Compact = *compact
 	if opts.Search == mc.BestTime {
 		p, err := plant.Build(cfg)
 		if err != nil {

@@ -26,6 +26,7 @@ func main() {
 		maxStates = flag.Int("max-states", 3_000_000, "per-cell explored-state budget (0 = none)")
 		hashBits  = flag.Int("hashbits", 23, "bit-state hash table size (2^n bits)")
 		workers   = flag.Int("workers", 1, "parallel search workers per cell (BFS/DFS columns; 1 = sequential)")
+		compact   = flag.Bool("compact", false, "use the compact (minimal-constraint) passed store in every cell")
 		csv       = flag.Bool("csv", false, "emit CSV instead of the formatted table")
 	)
 	flag.Parse()
@@ -76,7 +77,7 @@ func main() {
 					emit(*csv, n, g, s, nil)
 					continue
 				}
-				res := run(n, g, s, *memMB, *timeout, *maxStates, *hashBits, *workers)
+				res := run(n, g, s, *memMB, *timeout, *maxStates, *hashBits, *workers, *compact)
 				if !res.Found {
 					dead[col] = true
 					emit(*csv, n, g, s, nil)
@@ -94,7 +95,7 @@ func main() {
 	}
 }
 
-func run(n int, g plant.GuideLevel, s mc.SearchOrder, memMB int64, timeout time.Duration, maxStates, hashBits, workers int) *mc.Result {
+func run(n int, g plant.GuideLevel, s mc.SearchOrder, memMB int64, timeout time.Duration, maxStates, hashBits, workers int, compact bool) *mc.Result {
 	p, err := plant.Build(plant.Config{Qualities: plant.CycleQualities(n), Guides: g})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "table1:", err)
@@ -106,6 +107,7 @@ func run(n int, g plant.GuideLevel, s mc.SearchOrder, memMB int64, timeout time.
 	opts.HashBits = hashBits
 	opts.Timeout = timeout
 	opts.Workers = workers
+	opts.Compact = compact
 	opts.Priority = p.Priority
 	res, err := mc.Explore(p.Sys, p.Goal, opts)
 	if err != nil {

@@ -1,0 +1,238 @@
+package dbm
+
+// This file implements the minimal-constraint ("compact") representation of
+// canonical zones, following Larsen, Larsson, Pettersson and Yi ("Efficient
+// Verification of Real-Time Systems: Compact Data Structure and State-Space
+// Reduction", RTSS'97): a canonical DBM is uniquely determined by the small
+// set of difference constraints that survive redundancy elimination, so a
+// passed list can store O(k) constraints per zone instead of the full O(n²)
+// matrix. On typical timed-automata zones k is close to n, which is where
+// UPPAAL's memory headroom in the paper's experiments comes from.
+//
+// The reduction has two phases. First, clocks related by an equality
+// (xi - xj ≤ c and xj - xi ≤ -c, both weak — a zero cycle in the constraint
+// graph) are grouped into equivalence classes, and each class is pinned by a
+// single cycle of constraints through its members; keeping a cycle rather
+// than all pairs is what makes the form minimal on zones with many equal
+// clocks (fresh resets). Second, on the quotient graph of class
+// representatives — which by construction has no zero cycles, making
+// simultaneous elimination sound — a constraint (i,j) is dropped when some
+// representative k ≠ i,j gives a path at least as tight:
+// d(i,k) + d(k,j) ≤ d(i,j).
+//
+// Constraints that the universal zone New() already encodes (xj ≥ 0, i.e.
+// entry (0,j) = LEZero) are never stored: Inflate starts from New(), so they
+// are reconstructed for free, and IncludesDBM accounts for them with an O(n)
+// row-0 check. This relies on the package-wide invariant that row 0 of every
+// canonical zone is ≤ LEZero (clocks are never negative), which every
+// operation in this package preserves.
+
+// Constraint is one difference constraint xi - xj ≺ c of a compact zone.
+// I and J are clock indices (J may be 0, the reference clock).
+type Constraint struct {
+	I, J uint16
+	B    Bound
+}
+
+// Compact is a canonical zone in minimal-constraint form. It is immutable
+// after creation and safe to share between goroutines. The zero value is
+// not useful; obtain one from DBM.Minimal.
+type Compact struct {
+	n  int
+	cs []Constraint
+}
+
+// Dim returns the dimension of the zone (including the reference clock).
+func (c *Compact) Dim() int { return c.n }
+
+// Len returns the number of stored constraints.
+func (c *Compact) Len() int { return len(c.cs) }
+
+// MemBytes returns the approximate heap footprint in bytes, the unit of the
+// explorer's space accounting (8 bytes per constraint plus headers).
+func (c *Compact) MemBytes() int {
+	return 8*len(c.cs) + 32
+}
+
+// Minimal extracts the minimal-constraint form of a canonical zone. The
+// result round-trips through Inflate to an Equal DBM, and is unique: two
+// canonical DBMs represent the same zone iff their Minimal forms are Equal.
+// An empty zone yields the single inconsistent constraint x0 - x0 < 0.
+func (d *DBM) Minimal() *Compact {
+	n := d.n
+	if d.IsEmpty() {
+		return &Compact{n: n, cs: []Constraint{{0, 0, LTZero}}}
+	}
+	var cs []Constraint
+	emit := func(i, j int, b Bound) {
+		if i == 0 && b == LEZero {
+			return // implied by the universal base zone (xj >= 0)
+		}
+		cs = append(cs, Constraint{uint16(i), uint16(j), b})
+	}
+
+	// Phase 1: zero-cycle equivalence classes, pinned by one cycle each.
+	// rep[i] is the smallest clock index equal to clock i.
+	rep := make([]int, n)
+	for i := range rep {
+		rep[i] = -1
+	}
+	var members []int
+	for i := 0; i < n; i++ {
+		if rep[i] != -1 {
+			continue
+		}
+		rep[i] = i
+		members = members[:0]
+		members = append(members, i)
+		for j := i + 1; j < n; j++ {
+			if rep[j] == -1 && Add(d.m[i*n+j], d.m[j*n+i]) == LEZero {
+				rep[j] = i
+				members = append(members, j)
+			}
+		}
+		if len(members) > 1 {
+			for k := 0; k+1 < len(members); k++ {
+				a, b := members[k], members[k+1]
+				emit(a, b, d.m[a*n+b])
+			}
+			last, first := members[len(members)-1], members[0]
+			emit(last, first, d.m[last*n+first])
+		}
+	}
+
+	// Phase 2: redundancy elimination on the representative quotient graph.
+	for i := 0; i < n; i++ {
+		if rep[i] != i {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if j == i || rep[j] != j {
+				continue
+			}
+			b := d.m[i*n+j]
+			if b == Infinity {
+				continue
+			}
+			redundant := false
+			for k := 0; k < n; k++ {
+				if k == i || k == j || rep[k] != k {
+					continue
+				}
+				dik := d.m[i*n+k]
+				if dik == Infinity {
+					continue
+				}
+				if Add(dik, d.m[k*n+j]) <= b {
+					redundant = true
+					break
+				}
+			}
+			if !redundant {
+				emit(i, j, b)
+			}
+		}
+	}
+	return &Compact{n: n, cs: cs}
+}
+
+// Inflate reconstructs the full canonical DBM the compact form was taken
+// from. The result of inflating a non-empty zone is Equal to the original.
+func (c *Compact) Inflate() *DBM {
+	d := New(c.n)
+	c.InflateInto(d)
+	return d
+}
+
+// InflateInto overwrites d (which must have the compact form's dimension)
+// with the reconstructed canonical zone and reports whether it is non-empty.
+// It is the allocation-free variant of Inflate for scratch-buffer reuse.
+func (c *Compact) InflateInto(d *DBM) bool {
+	n := c.n
+	if d.n != n {
+		panic("dbm: dimension mismatch in InflateInto")
+	}
+	// Reset to the universal base zone (see New).
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j || i == 0 {
+				d.m[i*n+j] = LEZero
+			} else {
+				d.m[i*n+j] = Infinity
+			}
+		}
+	}
+	for _, cc := range c.cs {
+		at := int(cc.I)*n + int(cc.J)
+		if cc.B < d.m[at] {
+			d.m[at] = cc.B
+		}
+	}
+	return d.Close()
+}
+
+// IncludesDBM reports whether the compact zone is a superset of (or equal
+// to) the canonical DBM o — the passed-list subsumption test, in
+// O(constraints + n) with no inflation. Both must have equal dimension.
+//
+// Soundness: the compact zone C is the closure of its stored constraints
+// over the universal base. For C ⊇ O it suffices that every stored
+// constraint of C is at least as loose as O's corresponding entry — every
+// derived entry of C is a shortest path over stored/base edges, each edge
+// dominating O's entry, and O is closed so the path sum dominates O's direct
+// entry — plus the base constraints xj ≥ 0, checked against row 0 of O.
+func (c *Compact) IncludesDBM(o *DBM) bool {
+	if c.n != o.n {
+		panic("dbm: dimension mismatch in IncludesDBM")
+	}
+	for j := 1; j < c.n; j++ {
+		if o.m[j] > LEZero {
+			return false // o allows xj < 0, which the base zone excludes
+		}
+	}
+	for _, cc := range c.cs {
+		if cc.B < o.m[int(cc.I)*c.n+int(cc.J)] {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOfDBM reports whether the compact zone is a subset of (or equal to)
+// the canonical DBM d — the eviction direction of the passed-list
+// subsumption test. Unlike IncludesDBM this direction cannot be decided
+// from the stored constraints alone (the compact form leaves unbounded
+// differences implicit, and d may bound them), so after an O(constraints)
+// necessary check it falls back to inflating into the caller-provided
+// scratch DBM. The fast check is exact in the failing direction because
+// stored minimal constraints equal the closed entries at their positions.
+func (c *Compact) SubsetOfDBM(d *DBM, scratch *DBM) bool {
+	if c.n != d.n {
+		panic("dbm: dimension mismatch in SubsetOfDBM")
+	}
+	for _, cc := range c.cs {
+		if cc.B > d.m[int(cc.I)*c.n+int(cc.J)] {
+			return false
+		}
+	}
+	if !c.InflateInto(scratch) {
+		return true // empty zone is a subset of everything
+	}
+	return d.Includes(scratch)
+}
+
+// Equal reports whether two compact forms are identical. Because the
+// minimal form of a canonical zone is unique and Minimal emits constraints
+// in a deterministic order, this coincides with zone equality for compacts
+// produced by Minimal.
+func (c *Compact) Equal(o *Compact) bool {
+	if c.n != o.n || len(c.cs) != len(o.cs) {
+		return false
+	}
+	for i, cc := range c.cs {
+		if o.cs[i] != cc {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,157 @@
+package dbm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Property: Minimal → Inflate round-trips to an Equal canonical DBM, and
+// the compact form never stores more constraints than the full matrix has
+// finite off-diagonal entries.
+func TestMinimalInflateRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 500; trial++ {
+		n := 2 + rng.Intn(5)
+		d := randomZone(rng, n)
+		c := d.Minimal()
+		back := c.Inflate()
+		if !back.Equal(d) {
+			t.Fatalf("trial %d: round trip mismatch\noriginal: %s\ncompact:  %d constraints\nback:     %s",
+				trial, d, c.Len(), back)
+		}
+		finite := 0
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j && d.At(i, j) != Infinity {
+					finite++
+				}
+			}
+		}
+		if c.Len() > finite {
+			t.Fatalf("trial %d: compact form larger (%d) than finite entries (%d)", trial, c.Len(), finite)
+		}
+	}
+}
+
+// Property: InflateInto into a reused scratch DBM agrees with Inflate.
+func TestInflateIntoReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	scratch := New(4)
+	for trial := 0; trial < 200; trial++ {
+		d := randomZone(rng, 4)
+		c := d.Minimal()
+		if !c.InflateInto(scratch) {
+			t.Fatalf("trial %d: inflated zone empty", trial)
+		}
+		if !scratch.Equal(d) {
+			t.Fatalf("trial %d: InflateInto mismatch\noriginal: %s\nback:     %s", trial, d, scratch)
+		}
+	}
+}
+
+// Property: IncludesDBM on the compact form agrees with Includes on the
+// full DBMs, over randomized zone pairs (both related and unrelated).
+func TestIncludesDBMAgreesWithIncludes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	agree, disagreeCases := 0, 0
+	for trial := 0; trial < 1000; trial++ {
+		n := 2 + rng.Intn(4)
+		a, b := randomZone(rng, n), randomZone(rng, n)
+		if trial%3 == 0 {
+			// Make inclusion likely: widen a by delay closure.
+			a = b.Clone()
+			a.Up()
+		}
+		want := a.Includes(b)
+		got := a.Minimal().IncludesDBM(b)
+		if got != want {
+			t.Fatalf("trial %d: IncludesDBM=%v, Includes=%v\na: %s\nb: %s", trial, got, want, a, b)
+		}
+		agree++
+		if want {
+			disagreeCases++
+		}
+	}
+	if disagreeCases == 0 {
+		t.Fatal("no inclusion pairs generated; test is vacuous")
+	}
+}
+
+// Property: minimal forms are a unique canonical representation — Compact
+// Equal coincides with DBM Equal.
+func TestCompactEqualIsZoneEqual(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 500; trial++ {
+		n := 2 + rng.Intn(4)
+		a, b := randomZone(rng, n), randomZone(rng, n)
+		if trial%2 == 0 {
+			b = a.Clone()
+		}
+		want := a.Equal(b)
+		got := a.Minimal().Equal(b.Minimal())
+		if got != want {
+			t.Fatalf("trial %d: compact Equal=%v, DBM Equal=%v\na: %s\nb: %s", trial, got, want, a, b)
+		}
+	}
+}
+
+// The zero zone (all clocks equal 0) is one equality class: the compact
+// form is a cycle of n-1 constraints (the base zone supplies the rest),
+// versus n² entries in the full matrix.
+func TestMinimalZeroZone(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		c := Zero(n).Minimal()
+		want := n - 1
+		if c.Len() != want {
+			t.Errorf("n=%d: Zero zone compact has %d constraints, want %d", n, c.Len(), want)
+		}
+		if !c.Inflate().Equal(Zero(n)) {
+			t.Errorf("n=%d: Zero zone round trip failed", n)
+		}
+	}
+}
+
+// The universal zone needs no constraints at all: everything is supplied by
+// the base zone Inflate starts from.
+func TestMinimalUniversalZone(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		c := New(n).Minimal()
+		if c.Len() != 0 {
+			t.Errorf("n=%d: universal zone compact has %d constraints, want 0", n, c.Len())
+		}
+		if !c.Inflate().Equal(New(n)) {
+			t.Errorf("n=%d: universal zone round trip failed", n)
+		}
+	}
+}
+
+// An empty zone compacts to the inconsistent marker and inflates back to an
+// empty zone; it includes nothing.
+func TestMinimalEmptyZone(t *testing.T) {
+	d := Zero(3)
+	d.markEmpty()
+	c := d.Minimal()
+	if c.InflateInto(New(3)) {
+		t.Error("inflated empty zone reported non-empty")
+	}
+	if c.IncludesDBM(Zero(3)) {
+		t.Error("empty compact zone includes the zero zone")
+	}
+}
+
+// MemBytes of the compact form must undercut the full matrix on realistic
+// zones — the whole point of the representation.
+func TestCompactMemBytesSmaller(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	smaller := 0
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		d := randomZone(rng, 8)
+		if d.Minimal().MemBytes() < d.MemBytes() {
+			smaller++
+		}
+	}
+	if smaller < trials*9/10 {
+		t.Errorf("compact form smaller in only %d/%d trials", smaller, trials)
+	}
+}

@@ -20,6 +20,13 @@ type node struct {
 	parent *node
 	via    Transition
 	depth  int
+	// czone is the minimal-constraint form of the zone, set by the compact
+	// passed store when the node is inserted. While the node waits on the
+	// frontier its full DBM is released to the zone free-list and
+	// reconstructed (exactly, by the round-trip property) when the node is
+	// popped for expansion — so at any instant only the states actually
+	// being expanded hold O(n²) matrices. Immutable once set.
+	czone *dbm.Compact
 	// subsumed marks nodes evicted from the passed store by a node with a
 	// larger zone; the search skips them when popped. Atomic because in
 	// parallel search the store eviction and the frontier pop happen on
@@ -30,7 +37,14 @@ type node struct {
 // memBytes estimates the heap footprint of the node for the explorer's
 // space accounting.
 func (n *node) memBytes() int64 {
-	return int64(n.zone.MemBytes()) + int64(4*(len(n.locs)+len(n.env))) + 96
+	return int64(n.zone.MemBytes()) + n.discreteBytes()
+}
+
+// discreteBytes is the node's footprint excluding the zone matrix: the
+// location vector, integer store, and struct overhead. It is what a
+// compact-store entry keeps accounted after the zone is released.
+func (n *node) discreteBytes() int64 {
+	return int64(4*(len(n.locs)+len(n.env))) + 96
 }
 
 // engine holds the immutable static data of one exploration: the system,
@@ -221,6 +235,21 @@ func (c *engineCtx) freeZone(z *dbm.DBM) {
 	if len(c.freeZones) < maxFreeZones {
 		c.freeZones = append(c.freeZones, z)
 	}
+}
+
+// inflateZone reconstructs a full DBM from its minimal-constraint form,
+// recycling a free-listed matrix when one is available. The result is
+// exactly the zone that was released (Minimal/Inflate round-trip identity),
+// so searches that park waiting nodes without their matrices behave
+// bit-identically to ones that keep them.
+func (c *engineCtx) inflateZone(cz *dbm.Compact) *dbm.DBM {
+	if k := len(c.freeZones); k > 0 {
+		z := c.freeZones[k-1]
+		c.freeZones = c.freeZones[:k-1]
+		cz.InflateInto(z)
+		return z
+	}
+	return cz.Inflate()
 }
 
 // releaseNode recycles the zone of a dropped successor candidate. The node

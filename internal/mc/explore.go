@@ -59,13 +59,16 @@ func exploreSeq(en *engine, goal Goal) (Result, error) {
 	}
 
 	var store stateStore
-	if en.opts.Search == BSH {
+	switch {
+	case en.opts.Search == BSH:
 		table, err := newBitTable(en.opts.HashBits)
 		if err != nil {
 			return res, err
 		}
 		store = &bitStore{table: table}
-	} else {
+	case en.opts.Compact:
+		store = newCompactStore(en.opts.Inclusion)
+	default:
 		store = newMapStore(en.opts.Inclusion)
 	}
 	front := newFrontier(en.opts)
@@ -85,6 +88,11 @@ func exploreSeq(en *engine, goal Goal) (Result, error) {
 	store.add(ctx.stateKey(init), init)
 	front.push(init)
 	waitingBytes := waitingCost(init)
+	if init.czone != nil {
+		// The compact store holds the exact zone; waiting nodes travel
+		// without their O(n²) matrix.
+		ctx.releaseNode(init)
+	}
 
 	// The plant's Priority heuristic orders successor exploration; BSH
 	// keeps its historical yield order (priorities were never applied to
@@ -94,15 +102,28 @@ func exploreSeq(en *engine, goal Goal) (Result, error) {
 
 	var found *node
 	var succBuf []*node
+	var peakMem int64
 	for front.len() > 0 && found == nil {
-		if reason := en.checkLimits(start, st, store.stats().bytes+waitingBytes); reason != AbortNone {
+		mem := store.stats().bytes + waitingBytes
+		if mem > peakMem {
+			peakMem = mem
+		}
+		if reason := en.checkLimits(start, st, mem); reason != AbortNone {
 			res.Abort = reason
 			break
 		}
 		n := front.pop()
 		waitingBytes -= waitingCost(n)
 		if n.subsumed.Load() {
-			continue // a larger zone took over this discrete state
+			// A larger zone took over this discrete state; the store has
+			// already dropped the node, so its zone is free to recycle.
+			ctx.releaseNode(n)
+			continue
+		}
+		if n.zone == nil && n.czone != nil {
+			// Compact store: the matrix was released when n was parked on the
+			// frontier; rebuild it (exactly) for expansion.
+			n.zone = ctx.inflateZone(n.czone)
 		}
 		st.StatesExplored++
 		if en.opts.Inspect != nil {
@@ -150,6 +171,11 @@ func exploreSeq(en *engine, goal Goal) (Result, error) {
 		for _, s := range succBuf {
 			waitingBytes += waitingCost(s)
 			front.push(s)
+			if s.czone != nil {
+				// Park the successor without its matrix (BestTime has taken
+				// its heap priority from the zone during push above).
+				ctx.releaseNode(s)
+			}
 		}
 		if w := front.len(); w > st.PeakWaiting {
 			st.PeakWaiting = w
@@ -163,13 +189,25 @@ func exploreSeq(en *engine, goal Goal) (Result, error) {
 				found = n
 			}
 		}
+		// n has been expanded: if the store can reconstruct its zone (compact
+		// form) or never references it (bit table), the matrix is recyclable.
+		if n.czone != nil || !retained {
+			ctx.releaseNode(n)
+		}
 	}
 
 	ss := store.stats()
 	st.StatesStored = ss.count
 	st.DiscreteStates = ss.discrete
 	st.Evictions = ss.evictions
+	st.StoreBytes = ss.bytes
+	if ss.constraints > 0 && ss.count > 0 {
+		st.AvgZoneConstraints = float64(ss.constraints) / float64(ss.count)
+	}
 	st.MemBytes = ss.bytes + waitingBytes
+	if peakMem > st.MemBytes {
+		st.MemBytes = peakMem
+	}
 	st.Duration = time.Since(start)
 	if found != nil {
 		res.Found = true

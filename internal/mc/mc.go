@@ -63,6 +63,19 @@ type Options struct {
 	// Inclusion enables passed-list zone-inclusion subsumption (on by
 	// default; with it off, only exact zone equality deduplicates).
 	Inclusion bool
+	// Compact stores passed zones in minimal-constraint form (UPPAAL's
+	// "compact data structure"): each zone keeps only the difference
+	// constraints that survive redundancy elimination instead of the full
+	// O(n²) matrix. A state's full DBM exists only while the state is being
+	// expanded — it is recycled the moment the state is parked on the
+	// frontier and rebuilt, exactly, from the minimal form when the state is
+	// popped. Subsumption decisions are bit-identical to the default store,
+	// so verdicts, traces, and schedules do not change — only the memory
+	// profile does (and the CPU profile: one reduction per stored state and
+	// one re-closure per expanded state). Applies to the BFS, DFS, and
+	// BestTime orders, sequential and parallel; BSH already stores only
+	// hash bits and ignores this option.
+	Compact bool
 	// Extrapolate enables extrapolation (on by default; required for
 	// termination on models with unbounded clocks). Diagonal-free models
 	// use the coarser LU-bounds abstraction unless ClassicExtrapolation
@@ -161,12 +174,29 @@ type Stats struct {
 	// Steals counts work-stealing events between parallel workers
 	// (Workers > 1 only).
 	Steals int64
+	// StoreBytes is the passed store's accounted bytes at search end:
+	// stored zones (full or compact), interned keys, and bucket overhead.
+	// MemBytes additionally tracks the peak including frontier overhead.
+	StoreBytes int64
+	// AvgZoneConstraints is the mean number of stored minimal constraints
+	// per passed zone (Options.Compact only; 0 otherwise). Comparing it
+	// against dim² shows the compression the compact store achieves.
+	AvgZoneConstraints float64
 	// ShardOccupancy is the per-shard discrete-state count of the sharded
 	// passed store (parallel search with Profile only).
 	ShardOccupancy []int
 	// WorkerExplored counts states expanded per worker (parallel search
 	// with Profile only).
 	WorkerExplored []int
+}
+
+// BytesPerStoredState is StoreBytes averaged over the stored states — the
+// headline metric of the compact passed store.
+func (s Stats) BytesPerStoredState() float64 {
+	if s.StatesStored == 0 {
+		return 0
+	}
+	return float64(s.StoreBytes) / float64(s.StatesStored)
 }
 
 // String implements fmt.Stringer.

@@ -33,15 +33,25 @@ func exploreParallel(en *engine, goal Goal) (Result, error) {
 	}
 
 	nw := en.opts.Workers
+	newShard := func() localStore { return newMapStore(en.opts.Inclusion) }
+	if en.opts.Compact {
+		newShard = func() localStore { return newCompactStore(en.opts.Inclusion) }
+	}
 	ps := &parSearch{
 		en:      en,
 		goal:    goal,
-		store:   newShardedStore(en.opts.Inclusion),
+		store:   newShardedStore(newShard),
 		start:   start,
 		deques:  make([]deque, nw),
 		workers: make([]parWorker, nw),
 	}
 	ps.store.add(discreteKey(nil, init.locs, init.env), init)
+	if init.czone != nil {
+		// Compact store: ship the node without its matrix. Release strictly
+		// before the deque push — once published, any worker may pop the
+		// node and rebuild its zone.
+		initCtx.releaseNode(init)
+	}
 	ps.pending.Store(1)
 	ps.deques[0].pushBatch([]*node{init})
 
@@ -78,7 +88,17 @@ func exploreParallel(en *engine, goal Goal) (Result, error) {
 	st.StatesStored = ss.count
 	st.DiscreteStates = ss.discrete
 	st.Evictions = ss.evictions
-	st.MemBytes = ss.bytes + int64(st.PeakWaiting)*waitingSlot
+	st.StoreBytes = ss.bytes
+	if ss.constraints > 0 && ss.count > 0 {
+		st.AvgZoneConstraints = float64(ss.constraints) / float64(ss.count)
+	}
+	peakStore := ss.bytes
+	for i := range ps.workers {
+		if p := ps.workers[i].peakStoreBytes; p > peakStore {
+			peakStore = p
+		}
+	}
+	st.MemBytes = peakStore + int64(st.PeakWaiting)*waitingSlot
 	if en.opts.Profile {
 		st.ShardOccupancy = ps.store.occupancy()
 		st.WorkerExplored = make([]int, nw)
@@ -126,12 +146,13 @@ type parSearch struct {
 // parWorker is the per-worker statistics block, written only by its owner
 // until the workers have joined.
 type parWorker struct {
-	explored    int
-	transitions int
-	deadends    int
-	steals      int64
-	peakWaiting int
-	byAutomaton []int
+	explored       int
+	transitions    int
+	deadends       int
+	steals         int64
+	peakWaiting    int
+	peakStoreBytes int64
+	byAutomaton    []int
 }
 
 // found records the first goal hit and stops all workers.
@@ -240,6 +261,8 @@ func (ps *parSearch) trySteal(id int, w *parWorker) *node {
 // successor buffer.
 func (ps *parSearch) expand(ctx *engineCtx, w *parWorker, my *deque, n *node, succBuf []*node) []*node {
 	if n.subsumed.Load() {
+		// The store already evicted this node; recycle its zone locally.
+		ctx.releaseNode(n)
 		ps.pending.Add(-1)
 		return succBuf
 	}
@@ -252,10 +275,15 @@ func (ps *parSearch) expand(ctx *engineCtx, w *parWorker, my *deque, n *node, su
 		ps.pending.Add(-1)
 		return succBuf
 	}
-	if opts.MaxMemory > 0 && ps.store.memBytes() > opts.MaxMemory {
-		ps.abort(AbortMemory)
-		ps.pending.Add(-1)
-		return succBuf
+	if mem := ps.store.memBytes(); mem > 0 {
+		if mem > w.peakStoreBytes {
+			w.peakStoreBytes = mem
+		}
+		if opts.MaxMemory > 0 && mem > opts.MaxMemory {
+			ps.abort(AbortMemory)
+			ps.pending.Add(-1)
+			return succBuf
+		}
 	}
 	cnt := ps.explored.Add(1)
 	w.explored++
@@ -268,6 +296,11 @@ func (ps *parSearch) expand(ctx *engineCtx, w *parWorker, my *deque, n *node, su
 		ps.mu.Lock()
 		en.opts.Inspect(n.locs, n.env, n.depth)
 		ps.mu.Unlock()
+	}
+	if n.zone == nil && n.czone != nil {
+		// Compact store: the matrix was released before n was enqueued;
+		// rebuild it (exactly) on this worker's free-list for expansion.
+		n.zone = ctx.inflateZone(n.czone)
 	}
 	hadSucc := false
 	succBuf = succBuf[:0]
@@ -292,6 +325,11 @@ func (ps *parSearch) expand(ctx *engineCtx, w *parWorker, my *deque, n *node, su
 		if !ps.goal.Deadlock && ps.goal.Satisfied(s.locs, s.env) {
 			ps.found(s)
 			return
+		}
+		if s.czone != nil {
+			// Release strictly before the deque publication below: once
+			// pushed, a stealing worker may pop s and rebuild its zone.
+			ctx.releaseNode(s)
 		}
 		succBuf = append(succBuf, s)
 	})
@@ -324,6 +362,11 @@ func (ps *parSearch) expand(ctx *engineCtx, w *parWorker, my *deque, n *node, su
 		if ps.goal.Deadlock && ps.goal.Satisfied(n.locs, n.env) {
 			ps.found(n)
 		}
+	}
+	// n has been expanded: under the compact store its matrix is
+	// reconstructible from n.czone, so recycle it on this worker's free-list.
+	if n.czone != nil {
+		ctx.releaseNode(n)
 	}
 	ps.pending.Add(-1)
 	return succBuf

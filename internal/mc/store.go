@@ -3,14 +3,17 @@ package mc
 import (
 	"sync"
 	"sync/atomic"
+
+	"guidedta/internal/dbm"
 )
 
 // storeStats is a snapshot of a stateStore's bookkeeping.
 type storeStats struct {
-	count     int   // states currently stored
-	discrete  int   // distinct discrete states (0 when the store cannot tell)
-	bytes     int64 // accounted heap bytes of the store, including stored nodes
-	evictions int64 // nodes evicted by a subsuming newcomer
+	count       int   // states currently stored
+	discrete    int   // distinct discrete states (0 when the store cannot tell)
+	bytes       int64 // accounted heap bytes of the store, including stored nodes
+	evictions   int64 // nodes evicted by a subsuming newcomer
+	constraints int64 // total stored minimal constraints (compact store only)
 }
 
 // stateStore is the passed-store seam of the search layer: it deduplicates
@@ -28,32 +31,65 @@ type stateStore interface {
 	retainsNodes() bool
 }
 
+// localStore is a single-threaded stateStore that shardedStore can stripe:
+// it exposes its byte and discrete-state counters so the wrapper can
+// maintain lock-free aggregates.
+type localStore interface {
+	stateStore
+	byteCount() int64
+	discreteCount() int
+}
+
+// bucketOverhead is the accounted per-discrete-state overhead of a store
+// bucket: the interned key string header, the bucket struct, and map-entry
+// amortization.
+const bucketOverhead = 48
+
 // mapStore is the map-backed passed/waiting store (UPPAAL's PWList): per
 // discrete state, an antichain of maximal zones (with inclusion checking)
 // or a plain list (without). Nodes evicted by a subsuming newcomer are
-// flagged so the frontier drops them when they surface. Not safe for
-// concurrent use; shardedStore wraps it for the parallel search.
+// flagged so the frontier drops them when they surface. Buckets are held by
+// pointer so the hot path does a single no-allocation map lookup and
+// mutates the bucket in place; the key string is interned exactly once,
+// when its discrete state is first seen. Not safe for concurrent use;
+// shardedStore wraps it for the parallel search.
 type mapStore struct {
-	byKey     map[string][]*node
+	byKey     map[string]*zoneBucket
 	inclusion bool
 	count     int
 	bytes     int64
 	evictions int64
 }
 
+// zoneBucket is the per-discrete-state zone antichain of a mapStore.
+type zoneBucket struct {
+	nodes []*node
+}
+
 func newMapStore(inclusion bool) *mapStore {
-	return &mapStore{byKey: make(map[string][]*node), inclusion: inclusion}
+	return &mapStore{byKey: make(map[string]*zoneBucket), inclusion: inclusion}
 }
 
 // add inserts the state unless it is subsumed; it reports whether the state
 // was new. With inclusion checking, stored states whose zones the new one
 // subsumes are evicted (and marked, so the frontier drops them) to keep
 // only maximal zones.
+//
+// The in-place antichain compaction below is safe against the early return:
+// "some old includes new" and "new strictly includes some other old" cannot
+// both hold, because the antichain invariant would make those two old zones
+// comparable; so when the scan returns early, no eviction has shifted any
+// entry yet.
 func (p *mapStore) add(key []byte, n *node) bool {
-	nodes := p.byKey[string(key)]
+	b := p.byKey[string(key)] // compiler-optimized: no key allocation
+	if b == nil {
+		b = &zoneBucket{}
+		p.byKey[string(key)] = b // interns the key string, once per discrete state
+		p.bytes += int64(len(key)) + bucketOverhead
+	}
 	if p.inclusion {
-		kept := nodes[:0]
-		for _, old := range nodes {
+		kept := b.nodes[:0]
+		for _, old := range b.nodes {
 			if old.zone.Includes(n.zone) {
 				return false
 			}
@@ -66,18 +102,17 @@ func (p *mapStore) add(key []byte, n *node) bool {
 			}
 			kept = append(kept, old)
 		}
-		nodes = kept
+		b.nodes = kept
 	} else {
-		for _, old := range nodes {
+		for _, old := range b.nodes {
 			if old.zone.Equal(n.zone) {
 				return false
 			}
 		}
 	}
-	nodes = append(nodes, n)
-	p.byKey[string(key)] = nodes
+	b.nodes = append(b.nodes, n)
 	p.count++
-	p.bytes += n.memBytes() + int64(len(key))
+	p.bytes += n.memBytes()
 	return true
 }
 
@@ -86,6 +121,131 @@ func (p *mapStore) stats() storeStats {
 }
 
 func (p *mapStore) retainsNodes() bool { return true }
+
+func (p *mapStore) byteCount() int64   { return p.bytes }
+func (p *mapStore) discreteCount() int { return len(p.byKey) }
+
+// compactStore is the memory-lean variant of mapStore: passed zones are
+// kept in minimal-constraint form (dbm.Compact) instead of as full O(n²)
+// matrices. On insert the minimal form is attached to the node (node.czone)
+// so the search loop can release the full DBM the moment the node is parked
+// on the frontier and rebuild it — exactly, by the round-trip property —
+// when the node is popped for expansion. At any instant only the states
+// actually being expanded hold O(n²) matrices. Subsumption decisions are
+// exactly those of mapStore — IncludesDBM is an exact inclusion test and
+// the eviction direction falls back to inflating into a reused scratch
+// DBM — so a search over a compactStore visits states in the identical
+// order and finds the identical trace.
+type compactStore struct {
+	byKey       map[string]*compactBucket
+	inclusion   bool
+	count       int
+	bytes       int64
+	evictions   int64
+	constraints int64
+	scratch     *dbm.DBM // eviction-direction inflate buffer, lazily sized
+}
+
+// compactBucket is the per-discrete-state antichain of compact zones.
+// Every entry keeps its node — that is PWList semantics, minus the zone
+// matrix: the node's discrete part stays live for trace reconstruction and
+// eviction flagging, while its matrix lives only on the frontier briefly.
+type compactBucket struct {
+	entries []compactEntry
+}
+
+type compactEntry struct {
+	z *dbm.Compact
+	n *node
+}
+
+func newCompactStore(inclusion bool) *compactStore {
+	return &compactStore{byKey: make(map[string]*compactBucket), inclusion: inclusion}
+}
+
+// compactEntryOverhead is the accounted per-entry struct overhead.
+const compactEntryOverhead = 24
+
+// add mirrors mapStore.add (same antichain semantics and scan order, hence
+// identical search behavior), operating on compact zones. The expensive
+// Minimal() reduction runs only for states that are actually inserted; the
+// hot rejection path costs O(constraints) per stored entry.
+func (p *compactStore) add(key []byte, n *node) bool {
+	b := p.byKey[string(key)]
+	if b == nil {
+		b = &compactBucket{}
+		p.byKey[string(key)] = b
+		p.bytes += int64(len(key)) + bucketOverhead
+	}
+	if p.inclusion {
+		kept := b.entries[:0]
+		for _, old := range b.entries {
+			if old.z.IncludesDBM(n.zone) {
+				return false
+			}
+			if p.subsumesOld(n, old.z) {
+				old.n.subsumed.Store(true)
+				p.count--
+				p.bytes -= entryBytes(old)
+				p.constraints -= int64(old.z.Len())
+				p.evictions++
+				continue
+			}
+			kept = append(kept, old)
+		}
+		b.entries = kept
+	} else {
+		cn := n.zone.Minimal()
+		for _, old := range b.entries {
+			if old.z.Equal(cn) {
+				return false
+			}
+		}
+		p.insert(b, cn, n)
+		return true
+	}
+	p.insert(b, n.zone.Minimal(), n)
+	return true
+}
+
+// entryBytes is the accounted footprint of one compact entry: the minimal
+// constraints, entry overhead, and the node's discrete part. The zone
+// matrix is deliberately absent — it is released to the free-list while the
+// node waits and exists only transiently during expansion.
+func entryBytes(e compactEntry) int64 {
+	return int64(e.z.MemBytes()) + compactEntryOverhead + e.n.discreteBytes()
+}
+
+func (p *compactStore) insert(b *compactBucket, z *dbm.Compact, n *node) {
+	n.czone = z
+	e := compactEntry{z: z, n: n}
+	b.entries = append(b.entries, e)
+	p.count++
+	p.bytes += entryBytes(e)
+	p.constraints += int64(z.Len())
+}
+
+// subsumesOld decides whether the new node's zone includes the stored
+// compact zone, inflating into the reused scratch DBM only when the cheap
+// necessary test passes.
+func (p *compactStore) subsumesOld(n *node, old *dbm.Compact) bool {
+	if p.scratch == nil || p.scratch.Dim() != n.zone.Dim() {
+		p.scratch = dbm.New(n.zone.Dim())
+	}
+	return old.SubsetOfDBM(n.zone, p.scratch)
+}
+
+func (p *compactStore) stats() storeStats {
+	return storeStats{
+		count: p.count, discrete: len(p.byKey), bytes: p.bytes,
+		evictions: p.evictions, constraints: p.constraints,
+	}
+}
+
+func (p *compactStore) retainsNodes() bool { return true }
+
+func (p *compactStore) byteCount() int64   { return p.bytes }
+func (p *compactStore) discreteCount() int { return len(p.byKey) }
 
 // bitStore adapts the 2-bit Holzmann supertrace table to the stateStore
 // seam: only hashes are stored, so there is no inclusion checking and
@@ -115,10 +275,10 @@ func (b *bitStore) retainsNodes() bool { return false }
 const storeShards = 64
 
 // shardedStore is the concurrent stateStore of the parallel search: keys
-// hash to one of storeShards mapStores, each behind its own mutex, so
-// workers adding states in disjoint regions of the state space never
-// contend. The byte total is mirrored in an atomic so the memory-limit
-// check never takes a lock.
+// hash to one of storeShards localStores (map-backed or compact, chosen by
+// the constructor), each behind its own mutex, so workers adding states in
+// disjoint regions of the state space never contend. The byte total is
+// mirrored in an atomic so the memory-limit check never takes a lock.
 type shardedStore struct {
 	shards     [storeShards]storeShard
 	totalBytes atomic.Int64
@@ -126,15 +286,17 @@ type shardedStore struct {
 
 type storeShard struct {
 	mu sync.Mutex
-	m  *mapStore
+	m  localStore
 	// padding to keep shard mutexes on separate cache lines.
 	_ [40]byte
 }
 
-func newShardedStore(inclusion bool) *shardedStore {
+// newShardedStore builds the striped store; newShard creates one
+// single-threaded shard (called once per shard).
+func newShardedStore(newShard func() localStore) *shardedStore {
 	s := &shardedStore{}
 	for i := range s.shards {
-		s.shards[i].m = newMapStore(inclusion)
+		s.shards[i].m = newShard()
 	}
 	return s
 }
@@ -148,9 +310,9 @@ func shardOf(key []byte) int {
 func (s *shardedStore) add(key []byte, n *node) bool {
 	sh := &s.shards[shardOf(key)]
 	sh.mu.Lock()
-	before := sh.m.bytes
+	before := sh.m.byteCount()
 	ok := sh.m.add(key, n)
-	delta := sh.m.bytes - before
+	delta := sh.m.byteCount() - before
 	sh.mu.Unlock()
 	if delta != 0 {
 		s.totalBytes.Add(delta)
@@ -169,6 +331,7 @@ func (s *shardedStore) stats() storeStats {
 		total.discrete += st.discrete
 		total.bytes += st.bytes
 		total.evictions += st.evictions
+		total.constraints += st.constraints
 	}
 	return total
 }
@@ -186,7 +349,7 @@ func (s *shardedStore) occupancy() []int {
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
-		occ[i] = len(sh.m.byKey)
+		occ[i] = sh.m.discreteCount()
 		sh.mu.Unlock()
 	}
 	return occ
