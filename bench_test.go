@@ -32,7 +32,7 @@ func exploreOnce(b *testing.B, n int, g plant.GuideLevel, order mc.SearchOrder, 
 		}
 		opts := mc.DefaultOptions(order)
 		opts.MaxStates = 2_000_000
-		opts.Priority = p.Priority
+		opts.Observer = &mc.FuncObserver{Priority: p.Priority}
 		last, err = mc.Explore(p.Sys, p.Goal, opts)
 		if err != nil {
 			b.Fatal(err)
@@ -88,7 +88,7 @@ func exploreWorkers(b *testing.B, n int, g plant.GuideLevel, order mc.SearchOrde
 		opts := mc.DefaultOptions(order)
 		opts.MaxStates = maxStates
 		opts.Workers = workers
-		opts.Priority = p.Priority
+		opts.Observer = &mc.FuncObserver{Priority: p.Priority}
 		last, err = mc.Explore(p.Sys, p.Goal, opts)
 		if err != nil {
 			b.Fatal(err)
@@ -124,7 +124,7 @@ func BenchmarkTable2Schedule(b *testing.B) {
 		b.Fatal(err)
 	}
 	opts := mc.DefaultOptions(mc.DFS)
-	opts.Priority = p.Priority
+	opts.Observer = &mc.FuncObserver{Priority: p.Priority}
 	res, err := mc.Explore(p.Sys, p.Goal, opts)
 	if err != nil || !res.Found {
 		b.Fatalf("explore: %v found=%v", err, res.Found)
@@ -268,7 +268,7 @@ func BenchmarkAblationBSHWidth(b *testing.B) {
 				}
 				opts := mc.DefaultOptions(mc.BSH)
 				opts.HashBits = bits
-				opts.Priority = p.Priority
+				opts.Observer = &mc.FuncObserver{Priority: p.Priority}
 				last, err = mc.Explore(p.Sys, p.Goal, opts)
 				if err != nil {
 					b.Fatal(err)
@@ -292,7 +292,7 @@ func BenchmarkMinTimeSearch(b *testing.B) {
 		opts := mc.DefaultOptions(mc.BestTime)
 		opts.TimeClock = p.GlobalClock
 		opts.TimeHorizon = 200
-		opts.Priority = p.Priority
+		opts.Observer = &mc.FuncObserver{Priority: p.Priority}
 		last, err = mc.Explore(p.Sys, p.Goal, opts)
 		if err != nil {
 			b.Fatal(err)

@@ -7,35 +7,32 @@
 //	guidedmc [flags] model.gta
 //
 // The model file must contain a `query exists ...` line (or pass none to
-// just validate and print the model).
+// just validate and print the model). With -progress a live status line
+// tracks the search on stderr; with -report out.json the run is written as
+// a machine-readable JSON report. Ctrl-C cancels the search cleanly: the
+// result is UNDECIDED (canceled) with consistent statistics, and the
+// report is still written.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
+	"path/filepath"
 	"time"
 
+	"guidedta/internal/cliutil"
 	"guidedta/internal/mc"
 	"guidedta/internal/tadsl"
 )
 
 func main() {
 	var (
-		search   = flag.String("search", "dfs", "search order: bfs, dfs, bsh, or besttime")
-		hashBits = flag.Int("hashbits", 22, "bit-state hash table size (2^n bits, bsh only)")
-		noIncl   = flag.Bool("no-inclusion", false, "disable zone inclusion checking")
-		compact  = flag.Bool("compact", false, "store passed zones in minimal-constraint form (lower memory, same answers)")
-		noActive = flag.Bool("no-active", false, "disable (in-)active clock reduction")
-		trace    = flag.Bool("trace", false, "print the concretized diagnostic trace")
-		dump     = flag.Bool("dump", false, "pretty-print the parsed model and exit")
-		dot      = flag.String("dot", "", "write the named automaton as Graphviz DOT and exit")
-		maxState = flag.Int("max-states", 0, "abort after exploring this many states")
-		timeout  = flag.Duration("timeout", 0, "abort after this wall-clock duration")
-		workers  = flag.Int("workers", 1, "parallel search workers (bfs/dfs only; 1 = sequential)")
-		stats    = flag.Bool("stats", false, "print detailed search statistics (enables profiling)")
+		trace = flag.Bool("trace", false, "print the concretized diagnostic trace")
+		dump  = flag.Bool("dump", false, "pretty-print the parsed model and exit")
+		dot   = flag.String("dot", "", "write the named automaton as Graphviz DOT and exit")
 	)
+	sf := cliutil.AddSearchFlags(flag.CommandLine, mc.DefaultOptions(mc.DFS))
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: guidedmc [flags] model.gta")
@@ -70,31 +67,20 @@ func main() {
 		return
 	}
 
-	opts := mc.DefaultOptions(mc.DFS)
-	switch strings.ToLower(*search) {
-	case "bfs":
-		opts.Search = mc.BFS
-	case "dfs":
-		opts.Search = mc.DFS
-	case "bsh":
-		opts.Search = mc.BSH
-	case "besttime":
-		opts.Search = mc.BestTime
-	default:
-		fatal(fmt.Errorf("unknown search order %q", *search))
-	}
-	opts.HashBits = *hashBits
-	opts.Inclusion = !*noIncl
-	opts.Compact = *compact
-	opts.ActiveClocks = !*noActive
-	opts.MaxStates = *maxState
-	opts.Timeout = *timeout
-	opts.Workers = *workers
-	opts.Profile = *stats
-
-	start := time.Now()
-	res, err := mc.Explore(model.Sys, model.Query, opts)
+	opts, err := sf.Options()
 	if err != nil {
+		fatal(err)
+	}
+	rep := sf.Instrument("guidedmc", filepath.Base(flag.Arg(0)), &opts, model.Sys, &model.Query)
+
+	ctx, stop := cliutil.SignalContext()
+	defer stop()
+	start := time.Now()
+	res, err := mc.ExploreContext(ctx, model.Sys, model.Query, opts)
+	if err != nil {
+		fatal(err)
+	}
+	if err := sf.WriteReport(rep); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("query: %s\n", model.Query)
@@ -109,8 +95,8 @@ func main() {
 		fmt.Println("NOT satisfied")
 	}
 	fmt.Printf("stats: %v (wall %v)\n", res.Stats, time.Since(start).Round(time.Millisecond))
-	if *stats {
-		printDetailedStats(res.Stats, *workers)
+	if sf.Stats {
+		printDetailedStats(res.Stats, sf.Workers)
 	}
 
 	if res.Found && *trace {

@@ -18,12 +18,17 @@ package main
 
 import (
 	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"runtime"
+	"sync"
 	"time"
 
+	"guidedta/internal/cliutil"
 	"guidedta/internal/expr"
 	"guidedta/internal/mc"
 	"guidedta/internal/plant"
@@ -80,9 +85,11 @@ type suiteEntry struct {
 
 func main() {
 	var (
-		out     = flag.String("out", "BENCH_mc.json", "output JSON path")
-		short   = flag.Bool("short", false, "run the reduced CI smoke suite")
-		workers = flag.Int("workers", 1, "parallel search workers (1 = sequential)")
+		out      = flag.String("out", "BENCH_mc.json", "output JSON path")
+		short    = flag.Bool("short", false, "run the reduced CI smoke suite")
+		workers  = flag.Int("workers", 1, "parallel search workers (1 = sequential)")
+		progress = flag.Bool("progress", false, "print a live search progress line to stderr")
+		httpAddr = flag.String("http", "", "serve net/http/pprof and expvar (incl. the latest search snapshot) on this address, e.g. localhost:6060")
 	)
 	flag.Parse()
 
@@ -90,6 +97,19 @@ func main() {
 	if *short {
 		suite = shortSuite()
 	}
+	if *httpAddr != "" {
+		// The default mux already carries /debug/pprof/* (imported above)
+		// and /debug/vars (expvar); mc_snapshot exposes the latest search
+		// snapshot so a long benchmark can be watched and profiled live.
+		expvar.Publish("mc_snapshot", expvar.Func(func() any { return latestSnapshot.get() }))
+		go func() {
+			if err := http.ListenAndServe(*httpAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "mcbench: http: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "mcbench: pprof/expvar at http://%s/debug/pprof and /debug/vars\n", *httpAddr)
+	}
+	watch := *progress || *httpAddr != ""
 
 	bf := benchFile{
 		Generated: time.Now().UTC().Format(time.RFC3339),
@@ -97,7 +117,7 @@ func main() {
 	}
 	for _, e := range suite {
 		fmt.Fprintf(os.Stderr, "mcbench: %s\n", e.name)
-		c, err := runCase(e, *workers)
+		c, err := runCase(e, *workers, watch, *progress)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mcbench: %s: %v\n", e.name, err)
 			os.Exit(1)
@@ -121,12 +141,48 @@ func main() {
 	fmt.Fprintf(os.Stderr, "mcbench: wrote %s (%d cases)\n", *out, len(bf.Cases))
 }
 
-func runCase(e suiteEntry, workers int) (benchCase, error) {
+// latestSnapshot is the most recent progress snapshot of the running
+// search, published as the mc_snapshot expvar when -http is set.
+var latestSnapshot snapshotVar
+
+type snapshotVar struct {
+	mu sync.Mutex
+	s  mc.Snapshot
+	ok bool
+}
+
+func (v *snapshotVar) set(s mc.Snapshot) {
+	v.mu.Lock()
+	v.s, v.ok = s, true
+	v.mu.Unlock()
+}
+
+func (v *snapshotVar) get() any {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if !v.ok {
+		return nil
+	}
+	return v.s
+}
+
+func runCase(e suiteEntry, workers int, watch, progress bool) (benchCase, error) {
 	run := func(compact bool) (runStats, mc.Result, error) {
 		sys, goal, opts := e.build()
 		opts.Compact = compact
 		opts.Workers = workers
 		opts.MaxStates = e.maxStates
+		if watch {
+			// Observability is attached only when asked for: the default
+			// benchmark runs stay observer-free so the tracked numbers
+			// measure the search, not its instrumentation.
+			opts.SnapshotEvery = 500 * time.Millisecond
+			obs := []mc.Observer{&mc.FuncObserver{OnSnapshot: latestSnapshot.set}}
+			if progress {
+				obs = append(obs, cliutil.ProgressObserver(os.Stderr, "mcbench "+e.name))
+			}
+			opts.Observer = mc.Observers(append(obs, opts.Observer)...)
+		}
 		start := time.Now()
 		res, err := mc.Explore(sys, goal, opts)
 		if err != nil {
@@ -210,7 +266,7 @@ func plantCase(name string, batches int, g plant.GuideLevel, order mc.SearchOrde
 			os.Exit(1)
 		}
 		opts := mc.DefaultOptions(order)
-		opts.Priority = p.Priority
+		opts.Observer = &mc.FuncObserver{Priority: p.Priority}
 		return p.Sys, p.Goal, opts
 	}}
 }

@@ -7,7 +7,8 @@
 // program is synthesized against the nominal timing but executed in a plant
 // whose actions take `wear` times longer, so the monitors catch the
 // resulting timing violations; re-synthesizing against the worn timing
-// (-resynth) fixes the run.
+// (-resynth) fixes the run. The shared search flag block configures the
+// schedule search, including -progress and -report observability.
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"guidedta/internal/cliutil"
 	"guidedta/internal/core"
 	"guidedta/internal/mc"
 	"guidedta/internal/plant"
@@ -31,6 +33,7 @@ func main() {
 		resynth = flag.Bool("resynth", false, "synthesize against the worn timing instead of nominal")
 		verbose = flag.Bool("v", false, "print the schedule before running")
 	)
+	sf := cliutil.AddSearchFlags(flag.CommandLine, mc.DefaultOptions(mc.DFS), "stats")
 	flag.Parse()
 
 	nominal := plant.DefaultParams()
@@ -45,7 +48,27 @@ func main() {
 		Guides:    plant.AllGuides,
 		Params:    synthParams,
 	}
-	res, err := core.Synthesize(cfg, mc.DefaultOptions(mc.DFS), synth.Options{})
+	p, err := plant.Build(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	opts, err := sf.Options()
+	if err != nil {
+		fatal(err)
+	}
+	if opts.Search == mc.BestTime {
+		opts.TimeClock = p.GlobalClock
+		opts.TimeHorizon = synthParams.Deadline * int32(len(cfg.Qualities)+2)
+	}
+	rep := sf.Instrument("plantsim", fmt.Sprintf("%d batches, %s timing", *batches, timingName(*resynth, *wear)),
+		&opts, p.Sys, &p.Goal)
+
+	ctx, stop := cliutil.SignalContext()
+	defer stop()
+	res, err := core.SynthesizeContext(ctx, cfg, opts, synth.Options{})
+	if werr := sf.WriteReport(rep); werr != nil {
+		fatal(werr)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -55,7 +78,7 @@ func main() {
 		fmt.Print(res.Schedule.Format())
 	}
 
-	rep, err := res.Simulate(sim.Config{
+	rep2, err := res.Simulate(sim.Config{
 		Params:   worn,
 		LossProb: *loss,
 		Seed:     *seed,
@@ -64,13 +87,13 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("plant run: %d/%d ladles stored, cast order %v, %d messages (%d lost), end at tick %d\n",
-		rep.Stored, *batches, rep.CastOrder, rep.MessagesSent, rep.MessagesLost, rep.EndTime)
-	if len(rep.Violations) == 0 {
+		rep2.Stored, *batches, rep2.CastOrder, rep2.MessagesSent, rep2.MessagesLost, rep2.EndTime)
+	if len(rep2.Violations) == 0 {
 		fmt.Println("no safety violations — the program works in the plant")
 		return
 	}
-	fmt.Printf("%d safety violations:\n", len(rep.Violations))
-	for _, v := range rep.Violations {
+	fmt.Printf("%d safety violations:\n", len(rep2.Violations))
+	for _, v := range rep2.Violations {
 		fmt.Printf("  %v\n", v)
 	}
 	os.Exit(1)

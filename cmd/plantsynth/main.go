@@ -7,6 +7,7 @@
 //	plantsynth -batches 2                     # schedule, Table 2 style
 //	plantsynth -qualities 1,2,3 -rcx          # synthesized RCX program
 //	plantsynth -batches 5 -guides some -stats # search effort only
+//	plantsynth -batches 10 -progress -report run.json
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"strconv"
 	"strings"
 
+	"guidedta/internal/cliutil"
 	"guidedta/internal/core"
 	"guidedta/internal/mc"
 	"guidedta/internal/plant"
@@ -28,16 +30,13 @@ func main() {
 		batches   = flag.Int("batches", 2, "number of batches (production list cycles Q1,Q2,Q3)")
 		qualities = flag.String("qualities", "", "explicit production list, e.g. 1,2,3,4,5 (overrides -batches)")
 		guides    = flag.String("guides", "all", "guide level: none, some, all")
-		search    = flag.String("search", "dfs", "search order: bfs, dfs, bsh, besttime")
 		rcxOut    = flag.Bool("rcx", false, "print the synthesized RCX control program")
 		annotated = flag.Bool("annotated", false, "print the schedule with absolute timestamps")
 		gantt     = flag.Bool("gantt", false, "print an ASCII Gantt chart of the schedule")
 		statsOnly = flag.Bool("stats", false, "print search statistics only")
-		maxStates = flag.Int("max-states", 0, "abort after exploring this many states")
-		workers   = flag.Int("workers", 1, "parallel search workers (bfs/dfs only; 1 = sequential)")
-		compact   = flag.Bool("compact", false, "store passed zones in minimal-constraint form (lower memory, same schedules)")
 		export    = flag.String("export", "", "write the built model in tadsl format to this file and exit")
 	)
+	sf := cliutil.AddSearchFlags(flag.CommandLine, mc.DefaultOptions(mc.DFS), "stats")
 	flag.Parse()
 
 	cfg := plant.Config{Guides: parseGuides(*guides)}
@@ -53,11 +52,14 @@ func main() {
 		cfg.Qualities = plant.CycleQualities(*batches)
 	}
 
+	// The model is built once up front: for -export, for the BestTime
+	// order's global clock, and for the report's model identity (core
+	// rebuilds the same deterministic model for the search itself).
+	p, err := plant.Build(cfg)
+	if err != nil {
+		fatal(err)
+	}
 	if *export != "" {
-		p, err := plant.Build(cfg)
-		if err != nil {
-			fatal(err)
-		}
 		f, err := os.Create(*export)
 		if err != nil {
 			fatal(err)
@@ -71,23 +73,28 @@ func main() {
 		return
 	}
 
-	opts := mc.DefaultOptions(parseSearch(*search))
-	opts.MaxStates = *maxStates
-	opts.Workers = *workers
-	opts.Compact = *compact
+	opts, err := sf.Options()
+	if err != nil {
+		fatal(err)
+	}
 	if opts.Search == mc.BestTime {
-		p, err := plant.Build(cfg)
-		if err != nil {
-			fatal(err)
-		}
 		opts.TimeClock = p.GlobalClock
 		opts.TimeHorizon = cfg.Params.Deadline * int32(len(cfg.Qualities)+2)
 		if cfg.Params == (plant.Params{}) {
 			opts.TimeHorizon = plant.DefaultParams().Deadline * int32(len(cfg.Qualities)+2)
 		}
 	}
+	rep := sf.Instrument("plantsynth", fmt.Sprintf("%d batches, %s guides", len(cfg.Qualities), *guides),
+		&opts, p.Sys, &p.Goal)
 
-	res, err := core.Synthesize(cfg, opts, synth.Options{})
+	ctx, stop := cliutil.SignalContext()
+	defer stop()
+	res, err := core.SynthesizeContext(ctx, cfg, opts, synth.Options{})
+	// The report carries whatever the search returned — also for aborted
+	// or infeasible searches, where synthesis errors out below.
+	if werr := sf.WriteReport(rep); werr != nil {
+		fatal(werr)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -125,22 +132,6 @@ func parseGuides(s string) plant.GuideLevel {
 		return plant.AllGuides
 	default:
 		fatal(fmt.Errorf("unknown guide level %q", s))
-		return 0
-	}
-}
-
-func parseSearch(s string) mc.SearchOrder {
-	switch strings.ToLower(s) {
-	case "bfs":
-		return mc.BFS
-	case "dfs":
-		return mc.DFS
-	case "bsh":
-		return mc.BSH
-	case "besttime":
-		return mc.BestTime
-	default:
-		fatal(fmt.Errorf("unknown search order %q", s))
 		return 0
 	}
 }

@@ -3,17 +3,20 @@
 // guide levels (All, Some, None) and three search strategies (BFS, DFS,
 // DFS + bit-state hashing). Cells that exhaust the memory budget or the
 // time budget print "-", like the paper's dashes (256 MB / two hours on
-// their 1999 hardware; both budgets are flags here).
+// their 1999 hardware; both budgets are flags here). With -report the
+// per-cell searches are also written as one machine-readable JSON report;
+// Ctrl-C stops the table cleanly after the current cell.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
-	"time"
 
+	"guidedta/internal/cliutil"
 	"guidedta/internal/mc"
 	"guidedta/internal/plant"
 )
@@ -21,14 +24,14 @@ import (
 func main() {
 	var (
 		batchList = flag.String("batches", "1,2,3,5,7,10,15,20,25,30,35,60", "batch counts (rows)")
-		memMB     = flag.Int64("memory", 2048, "per-cell memory budget in MB")
-		timeout   = flag.Duration("timeout", 0, "per-cell wall-clock budget (0 = none)")
-		maxStates = flag.Int("max-states", 3_000_000, "per-cell explored-state budget (0 = none)")
-		hashBits  = flag.Int("hashbits", 23, "bit-state hash table size (2^n bits)")
-		workers   = flag.Int("workers", 1, "parallel search workers per cell (BFS/DFS columns; 1 = sequential)")
-		compact   = flag.Bool("compact", false, "use the compact (minimal-constraint) passed store in every cell")
 		csv       = flag.Bool("csv", false, "emit CSV instead of the formatted table")
 	)
+	defaults := mc.DefaultOptions(mc.BFS)
+	defaults.HashBits = 23
+	defaults.MaxStates = 3_000_000
+	defaults.MaxMemory = 2048 << 20
+	// The search order is fixed per column, so the shared block drops it.
+	sf := cliutil.AddSearchFlags(flag.CommandLine, defaults, "search", "stats")
 	flag.Parse()
 
 	var rows []int
@@ -63,6 +66,13 @@ func main() {
 		fmt.Println()
 	}
 
+	var rep *cliutil.Report
+	if sf.Report != "" {
+		rep = cliutil.NewReport("table1")
+	}
+	ctx, stop := cliutil.SignalContext()
+	defer stop()
+
 	// Once a (guides, search) column fails, larger instances will too;
 	// skip them like the paper's dashes.
 	dead := make(map[string]bool)
@@ -77,7 +87,12 @@ func main() {
 					emit(*csv, n, g, s, nil)
 					continue
 				}
-				res := run(n, g, s, *memMB, *timeout, *maxStates, *hashBits, *workers, *compact)
+				res := runCell(ctx, sf, rep, n, g, s)
+				if res.Abort == mc.AbortCanceled {
+					finishReport(sf, rep)
+					fmt.Fprintln(os.Stderr, "\ntable1: canceled")
+					os.Exit(1)
+				}
 				if !res.Found {
 					dead[col] = true
 					emit(*csv, n, g, s, nil)
@@ -93,28 +108,49 @@ func main() {
 			fmt.Println()
 		}
 	}
+	finishReport(sf, rep)
 }
 
-func run(n int, g plant.GuideLevel, s mc.SearchOrder, memMB int64, timeout time.Duration, maxStates, hashBits, workers int, compact bool) *mc.Result {
+func runCell(ctx context.Context, sf *cliutil.SearchFlags, rep *cliutil.Report, n int, g plant.GuideLevel, s mc.SearchOrder) *mc.Result {
 	p, err := plant.Build(plant.Config{Qualities: plant.CycleQualities(n), Guides: g})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "table1:", err)
 		os.Exit(1)
 	}
-	opts := mc.DefaultOptions(s)
-	opts.MaxMemory = memMB << 20
-	opts.MaxStates = maxStates
-	opts.HashBits = hashBits
-	opts.Timeout = timeout
-	opts.Workers = workers
-	opts.Compact = compact
-	opts.Priority = p.Priority
-	res, err := mc.Explore(p.Sys, p.Goal, opts)
+	opts, err := sf.Options()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "table1:", err)
+		os.Exit(1)
+	}
+	opts.Search = s
+	opts.Observer = &mc.FuncObserver{Priority: p.Priority}
+	var obs []mc.Observer
+	if sf.Progress {
+		obs = append(obs, cliutil.ProgressObserver(os.Stderr, fmt.Sprintf("table1 %d/%v/%v", n, g, s)))
+	}
+	if rep != nil {
+		run := rep.Run(fmt.Sprintf("batches=%d guides=%v search=%v", n, g, s))
+		run.SetModel(p.Sys, &p.Goal)
+		run.SetOptions(opts)
+		obs = append(obs, run.Observer())
+	}
+	if len(obs) > 0 {
+		opts.SnapshotEvery = sf.SnapshotEvery
+		opts.Observer = mc.Observers(append(obs, opts.Observer)...)
+	}
+	res, err := mc.ExploreContext(ctx, p.Sys, p.Goal, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "table1:", err)
 		os.Exit(1)
 	}
 	return &res
+}
+
+func finishReport(sf *cliutil.SearchFlags, rep *cliutil.Report) {
+	if err := sf.WriteReport(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "table1:", err)
+		os.Exit(1)
+	}
 }
 
 func titleCase(s string) string {

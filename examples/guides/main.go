@@ -39,7 +39,7 @@ func main() {
 		opts := mc.DefaultOptions(mc.DFS)
 		opts.MaxStates = 500_000
 		opts.Timeout = 30 * time.Second
-		opts.Priority = p.Priority
+		opts.Observer = &mc.FuncObserver{Priority: p.Priority}
 		res, err := mc.Explore(p.Sys, p.Goal, opts)
 		if err != nil {
 			log.Fatal(err)

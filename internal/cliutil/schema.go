@@ -1,0 +1,108 @@
+package cliutil
+
+import (
+	_ "embed"
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// ReportSchema is the checked-in JSON schema (a small, self-validated
+// subset of JSON Schema) that -report files must conform to; CI runs
+// guidedmc -report and validates the output against it.
+//
+//go:embed report.schema.json
+var ReportSchema []byte
+
+// ValidateReport checks a rendered report against ReportSchema.
+func ValidateReport(doc []byte) error { return ValidateJSON(ReportSchema, doc) }
+
+// ValidateJSON validates doc against a schema written in the subset of
+// JSON Schema this package implements: "type" (object, array, string,
+// number, integer, boolean, null), "properties", "required", and "items".
+// Unknown schema keywords are ignored, unknown document fields allowed —
+// the schema pins the report's shape, not its every extension.
+func ValidateJSON(schema, doc []byte) error {
+	var s any
+	if err := json.Unmarshal(schema, &s); err != nil {
+		return fmt.Errorf("cliutil: bad schema: %w", err)
+	}
+	root, ok := s.(map[string]any)
+	if !ok {
+		return fmt.Errorf("cliutil: schema root is not an object")
+	}
+	var d any
+	if err := json.Unmarshal(doc, &d); err != nil {
+		return fmt.Errorf("cliutil: document is not valid JSON: %w", err)
+	}
+	return validateValue("$", root, d)
+}
+
+func validateValue(path string, schema map[string]any, v any) error {
+	if t, ok := schema["type"].(string); ok {
+		if err := checkType(path, t, v); err != nil {
+			return err
+		}
+	}
+	if req, ok := schema["required"].([]any); ok {
+		obj, _ := v.(map[string]any)
+		for _, r := range req {
+			name, _ := r.(string)
+			if _, present := obj[name]; !present {
+				return fmt.Errorf("%s: missing required field %q", path, name)
+			}
+		}
+	}
+	if props, ok := schema["properties"].(map[string]any); ok {
+		if obj, isObj := v.(map[string]any); isObj {
+			for name, sub := range props {
+				subSchema, isMap := sub.(map[string]any)
+				if !isMap {
+					return fmt.Errorf("%s.%s: schema property is not an object", path, name)
+				}
+				if val, present := obj[name]; present {
+					if err := validateValue(path+"."+name, subSchema, val); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	if items, ok := schema["items"].(map[string]any); ok {
+		if arr, isArr := v.([]any); isArr {
+			for i, el := range arr {
+				if err := validateValue(fmt.Sprintf("%s[%d]", path, i), items, el); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func checkType(path, want string, v any) error {
+	ok := false
+	switch want {
+	case "object":
+		_, ok = v.(map[string]any)
+	case "array":
+		_, ok = v.([]any)
+	case "string":
+		_, ok = v.(string)
+	case "boolean":
+		_, ok = v.(bool)
+	case "number":
+		_, ok = v.(float64)
+	case "integer":
+		f, isNum := v.(float64)
+		ok = isNum && f == math.Trunc(f)
+	case "null":
+		ok = v == nil
+	default:
+		return fmt.Errorf("%s: schema uses unsupported type %q", path, want)
+	}
+	if !ok {
+		return fmt.Errorf("%s: expected %s, got %T", path, want, v)
+	}
+	return nil
+}

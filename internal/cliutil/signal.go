@@ -1,0 +1,22 @@
+package cliutil
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// SignalContext returns a context canceled by Ctrl-C (SIGINT) or SIGTERM,
+// so an interactive interrupt lands as a clean mc.AbortCanceled — the
+// search stops, statistics stay consistent, and the report still gets
+// written. A second signal kills the process with Go's default behavior
+// (stop is called on the first, restoring it).
+func SignalContext() (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	return ctx, stop
+}

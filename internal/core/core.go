@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"guidedta/internal/mc"
@@ -34,21 +35,30 @@ type Result struct {
 	Codec    *synth.Codec
 }
 
-// Synthesize runs the full pipeline for a plant configuration. The zero
-// synth.Options value gives the defaults. An unreachable goal (no feasible
-// schedule, or a search aborted by its limits) returns an error wrapping
-// the search statistics in the message.
+// Synthesize runs the full pipeline for a plant configuration. It is
+// SynthesizeContext with a background context.
 func Synthesize(cfg plant.Config, opts mc.Options, so synth.Options) (*Result, error) {
+	return SynthesizeContext(context.Background(), cfg, opts, so)
+}
+
+// SynthesizeContext runs the full pipeline for a plant configuration under
+// ctx; canceling ctx aborts the schedule search (mc.AbortCanceled). The
+// zero synth.Options value gives the defaults. An unreachable goal (no
+// feasible schedule, or a search aborted by its limits) returns an error
+// wrapping the search statistics in the message.
+func SynthesizeContext(ctx context.Context, cfg plant.Config, opts mc.Options, so synth.Options) (*Result, error) {
 	p, err := plant.Build(cfg)
 	if err != nil {
 		return nil, err
 	}
-	if opts.Priority == nil {
+	if mc.PriorityOf(opts.Observer) == nil {
 		// The plant ships a search-order heuristic (explore deliveries
-		// before cast completions); callers may override it.
-		opts.Priority = p.Priority
+		// before cast completions); callers may override it by passing an
+		// observer that carries its own priority. Any watching observer
+		// the caller installed keeps receiving every event.
+		opts.Observer = mc.Observers(opts.Observer, &mc.FuncObserver{Priority: p.Priority})
 	}
-	res, err := mc.Explore(p.Sys, p.Goal, opts)
+	res, err := mc.ExploreContext(ctx, p.Sys, p.Goal, opts)
 	if err != nil {
 		return nil, err
 	}

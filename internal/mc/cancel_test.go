@@ -1,0 +1,192 @@
+// Cancellation tests for ExploreContext: canceling the context mid-search
+// must stop every search order — sequential and parallel, default and
+// compact store — promptly, returning AbortCanceled with statistics
+// consistent with the work done. Cancellation is triggered from an
+// observer after a fixed number of visits, so the tests are deterministic
+// rather than timing-dependent.
+package mc_test
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"guidedta/internal/mc"
+	"guidedta/internal/ta"
+)
+
+// fischerTimedModel is fischerModel plus a never-reset global clock, so the
+// same large safe instance also exercises the BestTime order. It returns
+// the global clock's index for Options.TimeClock.
+func fischerTimedModel(t testing.TB, n int) (*ta.System, mc.Goal, int) {
+	t.Helper()
+	s := ta.NewSystem("fischer-timed")
+	gt := s.AddClock("gt")
+	s.Table.DeclareVar("id", 0)
+	const k = 2
+	var cs []mc.LocRequirement
+	for pid := 1; pid <= n; pid++ {
+		x := s.AddClock(fmt.Sprintf("x%d", pid))
+		a := s.AddAutomaton(fmt.Sprintf("P%d", pid))
+		idle := a.AddLocation("idle", ta.Normal)
+		req := a.AddLocation("req", ta.Normal)
+		wait := a.AddLocation("wait", ta.Normal)
+		crit := a.AddLocation("cs", ta.Normal)
+		a.SetInvariant(req, ta.LE(x, k))
+		a.SetInit(idle)
+		a.Edge(idle, req).Guard("id == 0").Reset(x).Done()
+		a.Edge(req, wait).Assign(fmt.Sprintf("id := %d", pid)).Reset(x).Done()
+		a.Edge(wait, crit).When(ta.GT(x, k)).Guard(fmt.Sprintf("id == %d", pid)).Done()
+		a.Edge(wait, req).Guard("id == 0").Reset(x).Done()
+		a.Edge(crit, idle).Assign("id := 0").Done()
+		cs = append(cs, mc.LocRequirement{Automaton: pid - 1, Location: crit})
+	}
+	return s, mc.Goal{Desc: "mutex violation", Locs: cs[:2]}, gt
+}
+
+// cancelAfter returns an observer that cancels the search after n visits,
+// recording when it pulled the trigger.
+func cancelAfter(n int64, cancel context.CancelFunc) (*mc.FuncObserver, *atomic.Int64) {
+	var seen atomic.Int64
+	var when atomic.Int64 // UnixNano of the cancel call, 0 until fired
+	return &mc.FuncObserver{
+		OnVisit: func(mc.StateVisit) {
+			if seen.Add(1) == n {
+				when.Store(time.Now().UnixNano())
+				cancel()
+			}
+		},
+	}, &when
+}
+
+// TestExploreContextCancel cancels mid-search across every search order,
+// worker count, and store kind, and checks prompt AbortCanceled returns
+// with consistent Stats.
+func TestExploreContextCancel(t *testing.T) {
+	const trigger = 200
+	cases := []struct {
+		name    string
+		order   mc.SearchOrder
+		workers int
+		compact bool
+	}{
+		{"bfs-seq", mc.BFS, 1, false},
+		{"dfs-seq", mc.DFS, 1, false},
+		{"bsh-seq", mc.BSH, 1, false},
+		{"besttime-seq", mc.BestTime, 1, false},
+		{"bfs-seq-compact", mc.BFS, 1, true},
+		{"besttime-seq-compact", mc.BestTime, 1, true},
+		{"bfs-par-4", mc.BFS, 4, false},
+		{"dfs-par-4", mc.DFS, 4, false},
+		{"bfs-par-4-compact", mc.BFS, 4, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sys, goal, gt := fischerTimedModel(t, 6) // safe: would run for a long time
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			obs, firedAt := cancelAfter(trigger, cancel)
+			opts := mc.DefaultOptions(tc.order)
+			opts.Workers = tc.workers
+			opts.Compact = tc.compact
+			opts.Observer = obs
+			if tc.order == mc.BestTime {
+				opts.TimeClock = gt
+				opts.TimeHorizon = 50
+			}
+			res, err := mc.ExploreContext(ctx, sys, goal, opts)
+			returned := time.Now()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Found {
+				t.Fatal("canceled search claims the safe goal is reachable")
+			}
+			if res.Abort != mc.AbortCanceled {
+				t.Fatalf("Abort = %q, want %q", res.Abort, mc.AbortCanceled)
+			}
+			if res.Stats.StatesExplored < trigger {
+				t.Errorf("StatesExplored = %d, want >= %d (the visits that fired the cancel)",
+					res.Stats.StatesExplored, trigger)
+			}
+			if res.Stats.StatesStored == 0 && tc.order != mc.BSH {
+				t.Error("canceled search reports an empty passed store")
+			}
+			if res.Stats.Duration <= 0 {
+				t.Error("canceled search reports non-positive Duration")
+			}
+			// Cancellation is checked between state expansions, so the
+			// return should be near-instant; the bound is generous only to
+			// absorb CI scheduling noise.
+			if at := firedAt.Load(); at == 0 {
+				t.Fatal("cancel never fired")
+			} else if lag := returned.Sub(time.Unix(0, at)); lag > time.Second {
+				t.Errorf("search returned %v after cancel, want prompt return", lag)
+			}
+		})
+	}
+}
+
+// TestExploreContextPreCanceled: an already-canceled context aborts before
+// any state is expanded.
+func TestExploreContextPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			sys, goal, _ := fischerTimedModel(t, 6)
+			opts := mc.DefaultOptions(mc.BFS)
+			opts.Workers = workers
+			res, err := mc.ExploreContext(ctx, sys, goal, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Found {
+				t.Fatal("pre-canceled search claims Found")
+			}
+			if res.Abort != mc.AbortCanceled {
+				t.Fatalf("Abort = %q, want %q", res.Abort, mc.AbortCanceled)
+			}
+			if workers == 1 && res.Stats.StatesExplored != 0 {
+				t.Errorf("pre-canceled sequential search explored %d states, want 0",
+					res.Stats.StatesExplored)
+			}
+		})
+	}
+}
+
+// TestTimeoutIsContextSugar: Options.Timeout surfaces as AbortTimeout,
+// while an outer cancellation racing a generous timeout still reports
+// AbortCanceled — the two are distinguished through context.Cause.
+func TestTimeoutIsContextSugar(t *testing.T) {
+	t.Run("deadline", func(t *testing.T) {
+		sys, goal, _ := fischerTimedModel(t, 6)
+		opts := mc.DefaultOptions(mc.BFS)
+		opts.Timeout = 20 * time.Millisecond
+		res, err := mc.Explore(sys, goal, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Found || res.Abort != mc.AbortTimeout {
+			t.Fatalf("found=%v abort=%q, want timeout abort", res.Found, res.Abort)
+		}
+	})
+	t.Run("outer-cancel-wins", func(t *testing.T) {
+		sys, goal, _ := fischerTimedModel(t, 6)
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		obs, _ := cancelAfter(100, cancel)
+		opts := mc.DefaultOptions(mc.BFS)
+		opts.Timeout = time.Hour
+		opts.Observer = obs
+		res, err := mc.ExploreContext(ctx, sys, goal, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Abort != mc.AbortCanceled {
+			t.Fatalf("Abort = %q, want %q", res.Abort, mc.AbortCanceled)
+		}
+	})
+}

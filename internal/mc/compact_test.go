@@ -137,7 +137,7 @@ func TestCompactPlantSchedules(t *testing.T) {
 					t.Fatal(err)
 				}
 				opts := mc.DefaultOptions(c.order)
-				opts.Priority = p.Priority
+				opts.Observer = &mc.FuncObserver{Priority: p.Priority}
 				opts.Compact = compact
 				opts.Workers = workers
 				res, err := mc.Explore(p.Sys, p.Goal, opts)
@@ -234,7 +234,7 @@ func TestCompactStress(t *testing.T) {
 		}
 		sys, goal := fischerModel(t, 3, !broken)
 		seqOpts := mc.DefaultOptions(order)
-		seqOpts.Priority = prio
+		seqOpts.Observer = &mc.FuncObserver{Priority: prio}
 		seqOpts.Compact = true
 		seq, err := mc.Explore(sys, goal, seqOpts)
 		if err != nil {
@@ -267,7 +267,7 @@ func TestCompactMemoryReduction(t *testing.T) {
 			t.Fatal(err)
 		}
 		opts := mc.DefaultOptions(mc.DFS)
-		opts.Priority = p.Priority
+		opts.Observer = &mc.FuncObserver{Priority: p.Priority}
 		opts.Compact = compact
 		res, err := mc.Explore(p.Sys, p.Goal, opts)
 		if err != nil {

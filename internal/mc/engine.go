@@ -1,6 +1,8 @@
 package mc
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync/atomic"
 
@@ -71,6 +73,31 @@ type engine struct {
 
 	// urgentSyncPossible caches whether any urgent channel exists at all.
 	hasUrgentChan bool
+
+	// ctx is the run's cancellation context (never nil); done is its Done
+	// channel, checked by the search loops between expansions.
+	ctx  context.Context
+	done <-chan struct{}
+
+	// Observer hooks resolved once: the observer itself, which per-state
+	// events it actually listens to (so unused events skip dispatch — and,
+	// in the parallel search, the serialization lock — entirely), and the
+	// successor-ordering heuristic it carries.
+	obs          Observer
+	wantVisit    bool
+	wantDeadend  bool
+	wantSnapshot bool
+	prio         func(t Transition) int
+}
+
+// ctxAbort maps a finished context to its abort reason: a deadline
+// (Options.Timeout is sugar for one) reports AbortTimeout, any other
+// cancellation AbortCanceled.
+func ctxAbort(ctx context.Context) AbortReason {
+	if errors.Is(context.Cause(ctx), context.DeadlineExceeded) {
+		return AbortTimeout
+	}
+	return AbortCanceled
 }
 
 // engineCtx is the per-worker mutable half of the engine: every scratch
@@ -110,7 +137,7 @@ const maxFreeZones = 512
 // syncCand is an automaton/edge pair that can synchronize on a channel.
 type syncCand struct{ ai, ei int }
 
-func newEngine(sys *ta.System, opts Options) (*engine, error) {
+func newEngine(ctx context.Context, sys *ta.System, opts Options) (*engine, error) {
 	if err := sys.Freeze(); err != nil {
 		return nil, err
 	}
@@ -119,7 +146,12 @@ func newEngine(sys *ta.System, opts Options) (*engine, error) {
 		opts:     opts,
 		nClocks:  sys.NumClocks(),
 		maxConst: sys.MaxConstants(),
+		ctx:      ctx,
+		done:     ctx.Done(),
+		obs:      opts.Observer,
+		prio:     PriorityOf(opts.Observer),
 	}
+	en.wantVisit, en.wantDeadend, en.wantSnapshot = observerNeeds(opts.Observer)
 	var hasDiag bool
 	en.lower, en.upper, hasDiag = sys.LUBounds()
 	en.useLU = !hasDiag && !opts.ClassicExtrapolation

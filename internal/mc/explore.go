@@ -1,6 +1,7 @@
 package mc
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -9,28 +10,61 @@ import (
 )
 
 // Explore runs symbolic reachability analysis of goal on sys and returns
-// the result with a diagnostic trace when the goal is reachable. The system
-// is frozen if it is not already. With Options.Workers > 1 and a BFS or
-// DFS order, the search runs in parallel (see exploreParallel); the answer
-// and abort semantics are identical to the sequential search, though which
-// witness trace is found may differ.
+// the result with a diagnostic trace when the goal is reachable. It is
+// ExploreContext with a background context; see there for the semantics.
 func Explore(sys *ta.System, goal Goal, opts Options) (Result, error) {
-	en, err := newEngine(sys, opts)
+	return ExploreContext(context.Background(), sys, goal, opts)
+}
+
+// ExploreContext is the engine's entry point: it runs symbolic
+// reachability analysis of goal on sys under ctx. The system is frozen if
+// it is not already. With Options.Workers > 1 and a BFS or DFS order, the
+// search runs in parallel (see exploreParallel); the answer and abort
+// semantics are identical to the sequential search, though which witness
+// trace is found may differ.
+//
+// Canceling ctx stops the search promptly (it is checked between state
+// expansions, sequential and parallel) and returns a Result with
+// AbortCanceled and statistics consistent with the work done so far.
+// Options.Timeout is sugar over the context: a non-zero Timeout wraps ctx
+// in context.WithTimeout and the expiry surfaces as AbortTimeout. When an
+// Observer is configured it receives per-state events, periodic Snapshots
+// (Options.SnapshotEvery), and — on every non-error return — a final Done
+// call with the Result.
+func ExploreContext(ctx context.Context, sys *ta.System, goal Goal, opts Options) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		defer cancel()
+	}
+	en, err := newEngine(ctx, sys, opts)
 	if err != nil {
 		return Result{}, err
 	}
+	var res Result
 	switch opts.Search {
 	case BFS, DFS, BestTime, BSH:
 		if opts.Search == BestTime && opts.TimeClock <= 0 {
 			return Result{}, fmt.Errorf("mc: BestTime search requires Options.TimeClock")
 		}
 		if opts.Workers > 1 && (opts.Search == BFS || opts.Search == DFS) {
-			return exploreParallel(en, goal)
+			res, err = exploreParallel(en, goal)
+		} else {
+			res, err = exploreSeq(en, goal)
 		}
-		return exploreSeq(en, goal)
 	default:
 		return Result{}, fmt.Errorf("mc: unknown search order %v", opts.Search)
 	}
+	if err != nil {
+		return res, err
+	}
+	if en.obs != nil {
+		en.obs.Done(res)
+	}
+	return res, nil
 }
 
 // waitingSlot is the accounted per-entry frontier overhead for nodes whose
@@ -47,6 +81,17 @@ func exploreSeq(en *engine, goal Goal) (Result, error) {
 	res := Result{}
 	st := &res.Stats
 	ctx := en.newCtx()
+
+	// Observability: with snapshots requested, the loop publishes its
+	// counters into the atomic instrumentation block after every expansion
+	// and a sampler goroutine turns them into Snapshots. With ins == nil
+	// (the default) every publication is skipped behind this one check.
+	var ins *instr
+	if en.wantSnapshot && en.opts.SnapshotEvery > 0 {
+		ins = newInstr(1)
+		smp := startSampler(en.obs, en.opts.SnapshotEvery, start, ins.snapshot)
+		defer smp.stop()
+	}
 
 	init, err := ctx.initial()
 	if err != nil {
@@ -94,21 +139,22 @@ func exploreSeq(en *engine, goal Goal) (Result, error) {
 		ctx.releaseNode(init)
 	}
 
-	// The plant's Priority heuristic orders successor exploration; BSH
-	// keeps its historical yield order (priorities were never applied to
-	// the supertrace search and reordering would change which states its
-	// lossy table prunes).
-	usePriority := en.opts.Priority != nil && en.opts.Search != BSH
+	// The plant's priority heuristic (Observer/Prioritizer) orders
+	// successor exploration; BSH keeps its historical yield order
+	// (priorities were never applied to the supertrace search and
+	// reordering would change which states its lossy table prunes).
+	usePriority := en.prio != nil && en.opts.Search != BSH
 
 	var found *node
 	var succBuf []*node
 	var peakMem int64
 	for front.len() > 0 && found == nil {
-		mem := store.stats().bytes + waitingBytes
+		ss := store.stats()
+		mem := ss.bytes + waitingBytes
 		if mem > peakMem {
 			peakMem = mem
 		}
-		if reason := en.checkLimits(start, st, mem); reason != AbortNone {
+		if reason := en.checkLimits(st, mem); reason != AbortNone {
 			res.Abort = reason
 			break
 		}
@@ -126,8 +172,11 @@ func exploreSeq(en *engine, goal Goal) (Result, error) {
 			n.zone = ctx.inflateZone(n.czone)
 		}
 		st.StatesExplored++
-		if en.opts.Inspect != nil {
-			en.opts.Inspect(n.locs, n.env, n.depth)
+		if n.depth > st.MaxDepth {
+			st.MaxDepth = n.depth
+		}
+		if en.wantVisit {
+			en.obs.StateVisited(StateVisit{Locs: n.locs, Env: n.env, Depth: n.depth})
 		}
 		hadSucc := false
 		succBuf = succBuf[:0]
@@ -157,7 +206,7 @@ func exploreSeq(en *engine, goal Goal) (Result, error) {
 		if usePriority && len(succBuf) > 1 {
 			// Order so that higher-priority transitions are explored
 			// first: DFS pops the last push, BFS the first.
-			prio := en.opts.Priority
+			prio := en.prio
 			if en.opts.Search == DFS {
 				sort.SliceStable(succBuf, func(i, j int) bool {
 					return prio(succBuf[i].via) < prio(succBuf[j].via)
@@ -182,8 +231,8 @@ func exploreSeq(en *engine, goal Goal) (Result, error) {
 		}
 		if !hadSucc {
 			st.Deadends++
-			if en.opts.InspectDeadend != nil {
-				en.opts.InspectDeadend(n.locs, n.env, n.depth)
+			if en.wantDeadend {
+				en.obs.Deadend(StateVisit{Locs: n.locs, Env: n.env, Depth: n.depth})
 			}
 			if goal.Deadlock && goal.Satisfied(n.locs, n.env) {
 				found = n
@@ -193,6 +242,17 @@ func exploreSeq(en *engine, goal Goal) (Result, error) {
 		// form) or never references it (bit table), the matrix is recyclable.
 		if n.czone != nil || !retained {
 			ctx.releaseNode(n)
+		}
+		if ins != nil {
+			ins.explored.Store(int64(st.StatesExplored))
+			ins.transitions.Store(int64(st.Transitions))
+			ins.waiting.Store(int64(front.len()))
+			ins.peakWaiting.Store(int64(st.PeakWaiting))
+			ins.maxDepth.Store(int64(st.MaxDepth))
+			ins.deadends.Store(int64(st.Deadends))
+			ins.stored.Store(int64(ss.count))
+			ins.storeBytes.Store(ss.bytes)
+			ins.memBytes.Store(mem)
 		}
 	}
 
@@ -216,18 +276,20 @@ func exploreSeq(en *engine, goal Goal) (Result, error) {
 	return res, nil
 }
 
-// checkLimits enforces the state/memory/timeout cutoffs, checking the clock
-// only periodically.
-func (en *engine) checkLimits(start time.Time, st *Stats, mem int64) AbortReason {
+// checkLimits enforces the cancellation and state/memory cutoffs between
+// expansions (timeouts arrive through the context; see ExploreContext).
+func (en *engine) checkLimits(st *Stats, mem int64) AbortReason {
+	select {
+	case <-en.done:
+		return ctxAbort(en.ctx)
+	default:
+	}
 	if en.opts.MaxStates > 0 && st.StatesExplored >= en.opts.MaxStates {
 		return AbortStates
 	}
 	if en.opts.MaxMemory > 0 && mem > en.opts.MaxMemory {
 		st.MemBytes = mem
 		return AbortMemory
-	}
-	if en.opts.Timeout > 0 && st.StatesExplored%64 == 0 && time.Since(start) > en.opts.Timeout {
-		return AbortTimeout
 	}
 	return AbortNone
 }

@@ -101,24 +101,29 @@ type Options struct {
 	// 256 MB cutoff.
 	MaxMemory int64
 	// Timeout aborts the search after this wall-clock duration
-	// (0 = unlimited). This models the paper's two-hour cutoff.
+	// (0 = unlimited). This models the paper's two-hour cutoff. It is
+	// sugar over ExploreContext: a non-zero Timeout wraps the search
+	// context in context.WithTimeout, and the deadline surfaces as
+	// AbortTimeout (any other cancellation as AbortCanceled).
 	Timeout time.Duration
 	// Profile enables per-automaton transition counting in
 	// Stats.ByAutomaton, useful for finding which component drives the
 	// state-space size.
 	Profile bool
-	// Inspect, when non-nil, is called for every explored state with its
-	// location vector, integer store, and depth — a debugging hook for
-	// understanding search frontiers. The slices must not be retained.
-	Inspect func(locs []int32, env []int32, depth int)
-	// InspectDeadend, when non-nil, is called for every explored state
-	// with no successors (a deadlock).
-	InspectDeadend func(locs []int32, env []int32, depth int)
-	// Priority, when non-nil, orders successor exploration: transitions
-	// with higher priority are explored first (a user search heuristic in
-	// the spirit of guiding; it cannot change verification answers, only
-	// effort).
-	Priority func(t Transition) int
+	// Observer receives live search events: per-state visits and deadends
+	// (superseding the former Inspect/InspectDeadend callbacks), periodic
+	// progress Snapshots (see SnapshotEvery), and the final Result. An
+	// observer that also implements Prioritizer supplies the
+	// successor-ordering heuristic the former Priority field carried
+	// (higher priority explored first; in the guiding spirit it cannot
+	// change verification answers, only effort). Use FuncObserver for
+	// one-off hooks and Observers to combine several.
+	Observer Observer
+	// SnapshotEvery enables periodic progress snapshots at this interval,
+	// delivered to Observer.Snapshot from a sampling goroutine (0 = no
+	// periodic snapshots). A final snapshot is always emitted when the
+	// search ends, so even sub-interval runs produce one.
+	SnapshotEvery time.Duration
 	// TimeClock designates a never-reset clock measuring global time,
 	// required by the BestTime search order (0 = none). The clock's
 	// extrapolation bound is raised to TimeHorizon so that the time
@@ -149,16 +154,24 @@ const (
 	AbortStates  AbortReason = "state limit"
 	AbortMemory  AbortReason = "memory limit"
 	AbortTimeout AbortReason = "timeout"
+	// AbortCanceled reports that the context passed to ExploreContext was
+	// canceled mid-search.
+	AbortCanceled AbortReason = "canceled"
 )
 
 // Stats reports search effort, the data behind Table 1.
 type Stats struct {
-	StatesExplored int           // states popped and expanded
-	StatesStored   int           // states currently in the passed list
-	Transitions    int           // successor states generated
-	PeakWaiting    int           // maximum waiting-list length
-	Duration       time.Duration // wall-clock search time
-	MemBytes       int64         // estimated peak live search memory
+	StatesExplored int // states popped and expanded
+	StatesStored   int // states currently in the passed list
+	Transitions    int // successor states generated
+	// PeakWaiting is the maximum waiting-list length: the true global
+	// maximum also under parallel search, where it is tracked with one
+	// shared atomic watermark across all workers' deques.
+	PeakWaiting int
+	// MaxDepth is the largest depth of any explored state.
+	MaxDepth int
+	Duration time.Duration // wall-clock search time
+	MemBytes int64         // estimated peak live search memory
 	// ByAutomaton counts generated transitions per initiating automaton
 	// (populated only with Options.Profile).
 	ByAutomaton []int

@@ -1,0 +1,210 @@
+package mc
+
+import "time"
+
+// StateVisit is the per-state payload delivered to an Observer: the
+// discrete part of an explored state and where in the search it sits. The
+// slices are the engine's own buffers and must not be retained or mutated
+// past the callback.
+type StateVisit struct {
+	Locs  []int32
+	Env   []int32
+	Depth int
+	// Worker is the parallel worker that expanded the state (0 for the
+	// sequential search).
+	Worker int
+}
+
+// Snapshot is a point-in-time progress sample of a running search,
+// delivered periodically (every Options.SnapshotEvery) to
+// Observer.Snapshot, plus once more when the search ends. Snapshots are
+// taken from lock-light atomic counters published by the search loops, so
+// observing a long run costs the search essentially nothing.
+type Snapshot struct {
+	Elapsed        time.Duration
+	StatesExplored int
+	Transitions    int
+	// Waiting is the current frontier length; PeakWaiting its maximum so
+	// far (the true global maximum, also under parallel search).
+	Waiting     int
+	PeakWaiting int
+	// StatesStored and StoreBytes describe the passed store at sample time.
+	StatesStored int
+	StoreBytes   int64
+	// MemBytes is the estimated live search memory (store + frontier).
+	MemBytes int64
+	MaxDepth int
+	Deadends int
+	// Steals counts work-stealing events so far (parallel search only).
+	Steals int64
+	// StatesPerSec is the exploration rate since the previous snapshot
+	// (over the whole run for the final snapshot).
+	StatesPerSec float64
+	// WorkerExplored is the per-worker explored count (parallel search
+	// only; nil for sequential runs).
+	WorkerExplored []int
+	// Final marks the closing snapshot emitted when the search ends.
+	Final bool
+}
+
+// Observer receives live events from a running search. It supersedes the
+// former Options.Inspect/InspectDeadend callbacks and is the seam the CLI
+// progress line, run reports, and any future service endpoints sit on.
+// StateVisited and Deadend are called from the search loop (serialized,
+// also under parallel search); Snapshot is called from a sampling
+// goroutine; Done is called exactly once, after the search has fully
+// stopped, with the final Result.
+type Observer interface {
+	StateVisited(v StateVisit)
+	Deadend(v StateVisit)
+	Snapshot(s Snapshot)
+	Done(r Result)
+}
+
+// Prioritizer is an optional Observer capability: an observer that also
+// guides the search. SearchPriority returns the successor-ordering
+// heuristic (higher priority explored first), or nil for none. Like the
+// paper's guides it cannot change verification answers, only effort.
+type Prioritizer interface {
+	SearchPriority() func(t Transition) int
+}
+
+// FuncObserver adapts plain functions to the Observer interface; nil
+// fields are simply skipped (and skipped cheaply: the engine does not even
+// take the serialization lock for events nobody listens to). The zero
+// value is a valid, fully inert observer, so one-liners like
+//
+//	opts.Observer = &mc.FuncObserver{Priority: p.Priority}
+//
+// replace the former raw-callback fields.
+type FuncObserver struct {
+	OnVisit    func(v StateVisit)
+	OnDeadend  func(v StateVisit)
+	OnSnapshot func(s Snapshot)
+	OnDone     func(r Result)
+	// Priority is the successor-ordering heuristic (see Prioritizer).
+	Priority func(t Transition) int
+}
+
+// StateVisited implements Observer.
+func (f *FuncObserver) StateVisited(v StateVisit) {
+	if f.OnVisit != nil {
+		f.OnVisit(v)
+	}
+}
+
+// Deadend implements Observer.
+func (f *FuncObserver) Deadend(v StateVisit) {
+	if f.OnDeadend != nil {
+		f.OnDeadend(v)
+	}
+}
+
+// Snapshot implements Observer.
+func (f *FuncObserver) Snapshot(s Snapshot) {
+	if f.OnSnapshot != nil {
+		f.OnSnapshot(s)
+	}
+}
+
+// Done implements Observer.
+func (f *FuncObserver) Done(r Result) {
+	if f.OnDone != nil {
+		f.OnDone(r)
+	}
+}
+
+// SearchPriority implements Prioritizer.
+func (f *FuncObserver) SearchPriority() func(t Transition) int { return f.Priority }
+
+// PriorityOf extracts the successor-ordering heuristic an observer
+// carries, or nil if it carries none.
+func PriorityOf(o Observer) func(t Transition) int {
+	if p, ok := o.(Prioritizer); ok {
+		return p.SearchPriority()
+	}
+	return nil
+}
+
+// Observers fans events out to several observers in order. Nil entries are
+// dropped; a single surviving observer is returned unwrapped. The combined
+// observer's SearchPriority is the first non-nil priority among the
+// members, so a guiding observer composes with a watching one.
+func Observers(os ...Observer) Observer {
+	var kept multiObserver
+	for _, o := range os {
+		if o == nil {
+			continue
+		}
+		if m, ok := o.(multiObserver); ok {
+			kept = append(kept, m...)
+			continue
+		}
+		kept = append(kept, o)
+	}
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	}
+	return kept
+}
+
+type multiObserver []Observer
+
+func (m multiObserver) StateVisited(v StateVisit) {
+	for _, o := range m {
+		o.StateVisited(v)
+	}
+}
+
+func (m multiObserver) Deadend(v StateVisit) {
+	for _, o := range m {
+		o.Deadend(v)
+	}
+}
+
+func (m multiObserver) Snapshot(s Snapshot) {
+	for _, o := range m {
+		o.Snapshot(s)
+	}
+}
+
+func (m multiObserver) Done(r Result) {
+	for _, o := range m {
+		o.Done(r)
+	}
+}
+
+func (m multiObserver) SearchPriority() func(t Transition) int {
+	for _, o := range m {
+		if p := PriorityOf(o); p != nil {
+			return p
+		}
+	}
+	return nil
+}
+
+// observerNeeds reports which per-state events an observer actually
+// listens to, so the hot path can skip dispatch (and, in the parallel
+// search, the serialization lock) entirely for unused events. Custom
+// Observer implementations are assumed to listen to everything.
+func observerNeeds(o Observer) (visit, deadend, snapshot bool) {
+	switch v := o.(type) {
+	case nil:
+		return false, false, false
+	case *FuncObserver:
+		return v.OnVisit != nil, v.OnDeadend != nil, v.OnSnapshot != nil
+	case multiObserver:
+		for _, m := range v {
+			mv, md, ms := observerNeeds(m)
+			visit = visit || mv
+			deadend = deadend || md
+			snapshot = snapshot || ms
+		}
+		return visit, deadend, snapshot
+	default:
+		return true, true, true
+	}
+}

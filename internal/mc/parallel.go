@@ -45,6 +45,11 @@ func exploreParallel(en *engine, goal Goal) (Result, error) {
 		deques:  make([]deque, nw),
 		workers: make([]parWorker, nw),
 	}
+	if en.wantSnapshot && en.opts.SnapshotEvery > 0 {
+		ps.ins = newInstr(nw)
+		smp := startSampler(en.obs, en.opts.SnapshotEvery, start, ps.readSnapshot)
+		defer smp.stop()
+	}
 	ps.store.add(discreteKey(nil, init.locs, init.env), init)
 	if init.czone != nil {
 		// Compact store: ship the node without its matrix. Release strictly
@@ -53,6 +58,8 @@ func exploreParallel(en *engine, goal Goal) (Result, error) {
 		initCtx.releaseNode(init)
 	}
 	ps.pending.Store(1)
+	ps.waiting.Store(1)
+	ps.peakWaiting.Store(1)
 	ps.deques[0].pushBatch([]*node{init})
 
 	var wg sync.WaitGroup
@@ -67,14 +74,15 @@ func exploreParallel(en *engine, goal Goal) (Result, error) {
 
 	st := &res.Stats
 	st.StatesExplored = int(ps.explored.Load())
+	st.PeakWaiting = int(ps.peakWaiting.Load())
+	st.Steals = ps.steals.Load()
 	for i := range ps.workers {
 		w := &ps.workers[i]
 		st.Transitions += w.transitions
 		st.Deadends += w.deadends
-		st.Steals += w.steals
-		// PeakWaiting is the sum of per-worker peaks: an upper bound on
-		// the true global peak, good enough for effort reporting.
-		st.PeakWaiting += w.peakWaiting
+		if w.maxDepth > st.MaxDepth {
+			st.MaxDepth = w.maxDepth
+		}
 		if w.byAutomaton != nil {
 			if st.ByAutomaton == nil {
 				st.ByAutomaton = make([]int, len(en.sys.Automata))
@@ -134,10 +142,19 @@ type parSearch struct {
 	// is exhausted when it reaches zero.
 	pending  atomic.Int64
 	explored atomic.Int64
-	stop     atomic.Bool
+	// waiting is the global frontier length across all deques; peakWaiting
+	// is its high-watermark — the true global peak, not a per-worker sum.
+	waiting     atomic.Int64
+	peakWaiting atomic.Int64
+	steals      atomic.Int64
+	stop        atomic.Bool
 
-	// mu guards the terminal outcome and serializes the Inspect hooks
-	// (which were specified for the sequential search).
+	// ins is the snapshot instrumentation block (nil unless the observer
+	// asked for snapshots).
+	ins *instr
+
+	// mu guards the terminal outcome and serializes the observer's
+	// per-state events (which are specified as serialized).
 	mu          sync.Mutex
 	goalNode    *node
 	abortReason AbortReason
@@ -149,10 +166,25 @@ type parWorker struct {
 	explored       int
 	transitions    int
 	deadends       int
-	steals         int64
-	peakWaiting    int
+	maxDepth       int
 	peakStoreBytes int64
 	byAutomaton    []int
+}
+
+// readSnapshot assembles a progress Snapshot for the sampler: cheap atomic
+// counters plus one locked pass over the store shards (once per sampling
+// interval, not per state).
+func (ps *parSearch) readSnapshot() Snapshot {
+	snap := ps.ins.snapshot()
+	snap.StatesExplored = int(ps.explored.Load())
+	snap.Waiting = int(ps.waiting.Load())
+	snap.PeakWaiting = int(ps.peakWaiting.Load())
+	snap.Steals = ps.steals.Load()
+	ss := ps.store.stats()
+	snap.StatesStored = ss.count
+	snap.StoreBytes = ss.bytes
+	snap.MemBytes = ss.bytes + int64(snap.PeakWaiting)*waitingSlot
+	return snap
 }
 
 // found records the first goal hit and stops all workers.
@@ -178,8 +210,15 @@ func (ps *parSearch) abort(reason AbortReason) {
 }
 
 // checkLimits is the parallel analogue of engine.checkLimits, driven by
-// the shared atomic counters.
+// the shared atomic counters; it is also the idle workers' cancellation
+// check.
 func (ps *parSearch) checkLimits() {
+	select {
+	case <-ps.en.done:
+		ps.abort(ctxAbort(ps.en.ctx))
+		return
+	default:
+	}
 	opts := &ps.en.opts
 	if opts.MaxStates > 0 && int(ps.explored.Load()) >= opts.MaxStates {
 		ps.abort(AbortStates)
@@ -187,10 +226,6 @@ func (ps *parSearch) checkLimits() {
 	}
 	if opts.MaxMemory > 0 && ps.store.memBytes() > opts.MaxMemory {
 		ps.abort(AbortMemory)
-		return
-	}
-	if opts.Timeout > 0 && time.Since(ps.start) > opts.Timeout {
-		ps.abort(AbortTimeout)
 	}
 }
 
@@ -214,16 +249,16 @@ func (ps *parSearch) run(id int) {
 			n = my.popTail()
 		}
 		if n == nil {
-			n = ps.trySteal(id, w)
+			n = ps.trySteal(id)
 		}
 		if n == nil {
 			if ps.pending.Load() == 0 {
 				return
 			}
 			// Another worker still holds work; yield, then back off, and
-			// keep the timeout observable while idle.
+			// keep cancellation and the limits observable while idle.
 			idle++
-			if idle%256 == 0 {
+			if idle%64 == 0 {
 				ps.checkLimits()
 			}
 			if idle < 64 {
@@ -234,13 +269,15 @@ func (ps *parSearch) run(id int) {
 			continue
 		}
 		idle = 0
-		succBuf = ps.expand(ctx, w, my, n, succBuf)
+		ps.waiting.Add(-1)
+		succBuf = ps.expand(ctx, id, w, my, n, succBuf)
 	}
 }
 
 // trySteal takes a batch of nodes from another worker's deque, keeps the
-// first, and queues the rest locally.
-func (ps *parSearch) trySteal(id int, w *parWorker) *node {
+// first, and queues the rest locally. Stolen nodes merely change deques,
+// so the global waiting count is untouched.
+func (ps *parSearch) trySteal(id int) *node {
 	nw := len(ps.deques)
 	for off := 1; off < nw; off++ {
 		victim := &ps.deques[(id+off)%nw]
@@ -248,7 +285,7 @@ func (ps *parSearch) trySteal(id int, w *parWorker) *node {
 		if len(batch) == 0 {
 			continue
 		}
-		w.steals++
+		ps.steals.Add(1)
 		if len(batch) > 1 {
 			ps.deques[id].pushBatch(batch[1:])
 		}
@@ -259,7 +296,7 @@ func (ps *parSearch) trySteal(id int, w *parWorker) *node {
 
 // expand generates and enqueues the successors of n. It returns the reused
 // successor buffer.
-func (ps *parSearch) expand(ctx *engineCtx, w *parWorker, my *deque, n *node, succBuf []*node) []*node {
+func (ps *parSearch) expand(ctx *engineCtx, id int, w *parWorker, my *deque, n *node, succBuf []*node) []*node {
 	if n.subsumed.Load() {
 		// The store already evicted this node; recycle its zone locally.
 		ctx.releaseNode(n)
@@ -267,8 +304,15 @@ func (ps *parSearch) expand(ctx *engineCtx, w *parWorker, my *deque, n *node, su
 		return succBuf
 	}
 	en := ps.en
-	// Limit checks mirror the sequential loop: states and memory before
-	// every expansion, the clock only periodically.
+	// Limit checks mirror the sequential loop: cancellation, states, and
+	// memory before every expansion.
+	select {
+	case <-en.done:
+		ps.abort(ctxAbort(en.ctx))
+		ps.pending.Add(-1)
+		return succBuf
+	default:
+	}
 	opts := &en.opts
 	if opts.MaxStates > 0 && int(ps.explored.Load()) >= opts.MaxStates {
 		ps.abort(AbortStates)
@@ -285,16 +329,14 @@ func (ps *parSearch) expand(ctx *engineCtx, w *parWorker, my *deque, n *node, su
 			return succBuf
 		}
 	}
-	cnt := ps.explored.Add(1)
+	ps.explored.Add(1)
 	w.explored++
-	if opts.Timeout > 0 && cnt%64 == 0 && time.Since(ps.start) > opts.Timeout {
-		ps.abort(AbortTimeout)
-		ps.pending.Add(-1)
-		return succBuf
+	if n.depth > w.maxDepth {
+		w.maxDepth = n.depth
 	}
-	if en.opts.Inspect != nil {
+	if en.wantVisit {
 		ps.mu.Lock()
-		en.opts.Inspect(n.locs, n.env, n.depth)
+		en.obs.StateVisited(StateVisit{Locs: n.locs, Env: n.env, Depth: n.depth, Worker: id})
 		ps.mu.Unlock()
 	}
 	if n.zone == nil && n.czone != nil {
@@ -302,11 +344,15 @@ func (ps *parSearch) expand(ctx *engineCtx, w *parWorker, my *deque, n *node, su
 		// rebuild it (exactly) on this worker's free-list for expansion.
 		n.zone = ctx.inflateZone(n.czone)
 	}
+	ins := ps.ins
 	hadSucc := false
 	succBuf = succBuf[:0]
 	ctx.successors(n, func(s *node) {
 		hadSucc = true
 		w.transitions++
+		if ins != nil {
+			ins.transitions.Add(1)
+		}
 		if en.opts.Profile {
 			if w.byAutomaton == nil {
 				w.byAutomaton = make([]int, len(en.sys.Automata))
@@ -333,8 +379,8 @@ func (ps *parSearch) expand(ctx *engineCtx, w *parWorker, my *deque, n *node, su
 		}
 		succBuf = append(succBuf, s)
 	})
-	if en.opts.Priority != nil && len(succBuf) > 1 {
-		prio := en.opts.Priority
+	if en.prio != nil && len(succBuf) > 1 {
+		prio := en.prio
 		if en.opts.Search == DFS {
 			sort.SliceStable(succBuf, func(i, j int) bool {
 				return prio(succBuf[i].via) < prio(succBuf[j].via)
@@ -348,20 +394,25 @@ func (ps *parSearch) expand(ctx *engineCtx, w *parWorker, my *deque, n *node, su
 	if len(succBuf) > 0 {
 		ps.pending.Add(int64(len(succBuf)))
 		my.pushBatch(succBuf)
-		if l := my.len(); l > w.peakWaiting {
-			w.peakWaiting = l
-		}
+		updateMax(&ps.peakWaiting, ps.waiting.Add(int64(len(succBuf))))
 	}
 	if !hadSucc {
 		w.deadends++
-		if en.opts.InspectDeadend != nil {
+		if ins != nil {
+			ins.deadends.Add(1)
+		}
+		if en.wantDeadend {
 			ps.mu.Lock()
-			en.opts.InspectDeadend(n.locs, n.env, n.depth)
+			en.obs.Deadend(StateVisit{Locs: n.locs, Env: n.env, Depth: n.depth, Worker: id})
 			ps.mu.Unlock()
 		}
 		if ps.goal.Deadlock && ps.goal.Satisfied(n.locs, n.env) {
 			ps.found(n)
 		}
+	}
+	if ins != nil {
+		updateMax(&ins.maxDepth, int64(n.depth))
+		ins.workers[id].Add(1)
 	}
 	// n has been expanded: under the compact store its matrix is
 	// reconstructible from n.czone, so recycle it on this worker's free-list.

@@ -229,7 +229,7 @@ func TestParallelPlantSchedules(t *testing.T) {
 					t.Fatal(err)
 				}
 				opts := mc.DefaultOptions(c.order)
-				opts.Priority = p.Priority
+				opts.Observer = &mc.FuncObserver{Priority: p.Priority}
 				opts.Workers = workers
 				res, err := mc.Explore(p.Sys, p.Goal, opts)
 				if err != nil {
@@ -286,14 +286,14 @@ func TestParallelStress(t *testing.T) {
 		}
 		sys, goal := fischerModel(t, 3, !broken)
 		seqOpts := mc.DefaultOptions(order)
-		seqOpts.Priority = prio
+		seqOpts.Observer = &mc.FuncObserver{Priority: prio}
 		seq, err := mc.Explore(sys, goal, seqOpts)
 		if err != nil {
 			t.Fatal(err)
 		}
 		sys, goal = fischerModel(t, 3, !broken)
 		parOpts := mc.DefaultOptions(order)
-		parOpts.Priority = prio
+		parOpts.Observer = &mc.FuncObserver{Priority: prio}
 		parOpts.Workers = 2 + rng.Intn(7)
 		par, err := mc.Explore(sys, goal, parOpts)
 		if err != nil {

@@ -342,7 +342,7 @@ func TestTable1Shape(t *testing.T) {
 		p := MustBuild(Config{Qualities: CycleQualities(2), Guides: g})
 		opts := mc.DefaultOptions(mc.DFS)
 		opts.MaxStates = cap
-		opts.Priority = p.Priority
+		opts.Observer = &mc.FuncObserver{Priority: p.Priority}
 		res, err := mc.Explore(p.Sys, p.Goal, opts)
 		if err != nil {
 			t.Fatal(err)

@@ -20,7 +20,7 @@ func traceFor(t *testing.T) (*plant.Plant, []mc.ConcreteStep) {
 		t.Fatal(err)
 	}
 	opts := mc.DefaultOptions(mc.DFS)
-	opts.Priority = p.Priority
+	opts.Observer = &mc.FuncObserver{Priority: p.Priority}
 	res, err := mc.Explore(p.Sys, p.Goal, opts)
 	if err != nil || !res.Found {
 		t.Fatalf("explore: %v found=%v", err, res.Found)
