@@ -14,6 +14,12 @@
 //	mcbench                # full suite, writes BENCH_mc.json
 //	mcbench -short         # CI smoke suite (seconds, small instances)
 //	mcbench -out bench.json
+//
+// With -serve-url it instead load-tests a running mcserved (cmd/mcserved):
+// concurrent clients POST a small model mix and the observed p50/p99
+// latency plus cache hit rate are written to BENCH_serve.json:
+//
+//	mcbench -serve-url http://localhost:8080 -clients 8 -requests 200
 package main
 
 import (
@@ -90,8 +96,28 @@ func main() {
 		workers  = flag.Int("workers", 1, "parallel search workers (1 = sequential)")
 		progress = flag.Bool("progress", false, "print a live search progress line to stderr")
 		httpAddr = flag.String("http", "", "serve net/http/pprof and expvar (incl. the latest search snapshot) on this address, e.g. localhost:6060")
+
+		serveURL    = flag.String("serve-url", "", "load-generator mode: benchmark a running mcserved at this base URL instead of the engine suite")
+		clients     = flag.Int("clients", 8, "load-generator concurrent clients")
+		requests    = flag.Int("requests", 200, "load-generator total requests")
+		serveModels = flag.Int("serve-models", 4, "load-generator distinct models in the request mix")
+		serveOut    = flag.String("serve-out", "BENCH_serve.json", "load-generator output JSON path")
 	)
 	flag.Parse()
+
+	if *serveURL != "" {
+		if err := runLoadGen(loadGenConfig{
+			url:      *serveURL,
+			clients:  *clients,
+			requests: *requests,
+			models:   *serveModels,
+			out:      *serveOut,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "mcbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	suite := fullSuite()
 	if *short {

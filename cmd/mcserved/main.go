@@ -1,0 +1,107 @@
+// Command mcserved is the synthesis service: a long-running HTTP/JSON
+// model-checking and schedule-synthesis server (internal/serve) wrapping
+// the engine for repeated queries.
+//
+// Usage:
+//
+//	mcserved [-addr localhost:8080] [-workers N] [-queue N]
+//	         [-job-timeout 5m] [-drain-timeout 30s] [-cache N] [-pprof]
+//
+// Submit a model and wait for the report:
+//
+//	curl -s -XPOST --data @req.json 'http://localhost:8080/jobs?wait=1'
+//
+// where req.json is {"model": "<tadsl source>", "options": {"search":
+// "bfs"}} or {"plant": {"batches": 4}, "options": {"search": "dfs"}}.
+// GET /jobs/{id}/events streams live progress as server-sent events;
+// /status and the mcserve expvar (on /debug/vars with -pprof) expose
+// queue depth, cache hit rate, and per-worker state. SIGINT/SIGTERM
+// triggers a graceful drain: admission stops, in-flight jobs finish
+// (or are canceled after -drain-timeout), final reports are flushed,
+// and the process exits 0.
+package main
+
+import (
+	"context"
+	"expvar"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	_ "net/http/pprof"
+	"os"
+	"time"
+
+	"guidedta/internal/cliutil"
+	"guidedta/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "localhost:8080", "listen address")
+		workers      = flag.Int("workers", 0, "search worker pool size (0 = NumCPU)")
+		queueDepth   = flag.Int("queue", 64, "admission queue depth (full queue answers 429)")
+		jobTimeout   = flag.Duration("job-timeout", 5*time.Minute, "per-job search deadline (0 = unlimited)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a drain waits before canceling in-flight jobs")
+		cacheSize    = flag.Int("cache", 256, "result cache entries")
+		snapshot     = flag.Duration("snapshot-every", 250*time.Millisecond, "progress snapshot interval for event streams and reports")
+		pprofAddr    = flag.String("pprof", "", "also serve net/http/pprof and expvar on this address, e.g. localhost:6060")
+		quiet        = flag.Bool("quiet", false, "suppress per-job log lines")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "mcserved: ", log.LstdFlags)
+	logf := logger.Printf
+	if *quiet {
+		logf = nil
+	}
+	srv := serve.New(serve.Config{
+		Workers:       *workers,
+		QueueDepth:    *queueDepth,
+		JobTimeout:    *jobTimeout,
+		SnapshotEvery: *snapshot,
+		CacheSize:     *cacheSize,
+		Logf:          logf,
+	})
+	expvar.Publish("mcserve", srv.StatusVar())
+	if *pprofAddr != "" {
+		// The default mux carries /debug/pprof/* (imported above) and
+		// /debug/vars including the mcserve status published right above.
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				logger.Printf("pprof: %v", err)
+			}
+		}()
+		logger.Printf("pprof/expvar at http://%s/debug/pprof and /debug/vars", *pprofAddr)
+	}
+
+	httpServer := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpServer.ListenAndServe() }()
+	logger.Printf("serving on http://%s (workers %d, queue %d)", *addr, *workers, *queueDepth)
+
+	ctx, stop := cliutil.SignalContext()
+	defer stop()
+	select {
+	case err := <-errc:
+		logger.Printf("listen: %v", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop admitting, finish or cancel in-flight jobs,
+	// then close the listener. A second signal kills the process (the
+	// SignalContext has restored default disposition by now).
+	logger.Printf("signal received, draining (timeout %v)", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	srv.Drain(drainCtx)
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := httpServer.Shutdown(shutCtx); err != nil {
+		logger.Printf("shutdown: %v", err)
+	}
+	st := srv.Status()
+	fmt.Fprintf(os.Stderr, "mcserved: drained cleanly (%d executions, cache hit rate %.2f)\n",
+		st.ExecutionsFinished, st.Cache.HitRate)
+}

@@ -1,8 +1,6 @@
 package cliutil
 
 import (
-	"bytes"
-	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -156,9 +154,8 @@ func (rr *RunReport) SetModel(sys *ta.System, goal *mc.Goal) {
 		IntCells:  st.IntCells,
 		Channels:  st.Channels,
 	}
-	var buf bytes.Buffer
-	if err := tadsl.Write(&buf, sys, goal); err == nil {
-		mi.SHA256 = fmt.Sprintf("%x", sha256.Sum256(buf.Bytes()))
+	if h, err := tadsl.Hash(sys, goal); err == nil {
+		mi.SHA256 = h
 	}
 	rr.Model = mi
 }

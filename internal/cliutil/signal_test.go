@@ -1,0 +1,45 @@
+package cliutil
+
+import (
+	"context"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestSignalContextCancelsOnSIGTERM delivers a real SIGTERM to the test
+// process and checks the context cancels — the exact path mcserved's
+// graceful drain hangs off. SignalContext registers the handler before
+// returning, so the self-signal cannot race registration (it could only
+// race Go's default disposition, which would kill the test process).
+func TestSignalContextCancelsOnSIGTERM(t *testing.T) {
+	ctx, stop := SignalContext()
+	defer stop()
+	if err := ctx.Err(); err != nil {
+		t.Fatalf("fresh signal context already done: %v", err)
+	}
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("self-signal: %v", err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("context not canceled within 5s of SIGTERM")
+	}
+	if ctx.Err() != context.Canceled {
+		t.Fatalf("ctx.Err() = %v, want context.Canceled", ctx.Err())
+	}
+}
+
+// TestSignalContextStop: calling the returned stop cancels the context
+// (the deferred-cleanup path every cmd uses) and is idempotent.
+func TestSignalContextStop(t *testing.T) {
+	ctx, stop := SignalContext()
+	stop()
+	select {
+	case <-ctx.Done():
+	case <-time.After(time.Second):
+		t.Fatal("context not canceled by stop")
+	}
+	stop() // second call must be a no-op
+}

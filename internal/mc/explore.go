@@ -2,7 +2,6 @@ package mc
 
 import (
 	"context"
-	"fmt"
 	"sort"
 	"time"
 
@@ -35,6 +34,10 @@ func ExploreContext(ctx context.Context, sys *ta.System, goal Goal, opts Options
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	opts, err := opts.normalize()
+	if err != nil {
+		return Result{}, err
+	}
 	if opts.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
@@ -44,19 +47,13 @@ func ExploreContext(ctx context.Context, sys *ta.System, goal Goal, opts Options
 	if err != nil {
 		return Result{}, err
 	}
+	// normalize has already rejected unknown orders and a BestTime search
+	// without its time clock, so only the sequential/parallel split remains.
 	var res Result
-	switch opts.Search {
-	case BFS, DFS, BestTime, BSH:
-		if opts.Search == BestTime && opts.TimeClock <= 0 {
-			return Result{}, fmt.Errorf("mc: BestTime search requires Options.TimeClock")
-		}
-		if opts.Workers > 1 && (opts.Search == BFS || opts.Search == DFS) {
-			res, err = exploreParallel(en, goal)
-		} else {
-			res, err = exploreSeq(en, goal)
-		}
-	default:
-		return Result{}, fmt.Errorf("mc: unknown search order %v", opts.Search)
+	if opts.Workers > 1 && (opts.Search == BFS || opts.Search == DFS) {
+		res, err = exploreParallel(en, goal)
+	} else {
+		res, err = exploreSeq(en, goal)
 	}
 	if err != nil {
 		return res, err

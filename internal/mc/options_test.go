@@ -1,0 +1,93 @@
+package mc
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNormalizeRejectsNonsense(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Options)
+		want string
+	}{
+		{"negative-workers", func(o *Options) { o.Workers = -2 }, "Workers"},
+		{"negative-max-states", func(o *Options) { o.MaxStates = -1 }, "MaxStates"},
+		{"negative-max-memory", func(o *Options) { o.MaxMemory = -5 }, "MaxMemory"},
+		{"negative-timeout", func(o *Options) { o.Timeout = -time.Second }, "Timeout"},
+		{"negative-snapshot", func(o *Options) { o.SnapshotEvery = -time.Millisecond }, "SnapshotEvery"},
+		{"negative-timeclock", func(o *Options) { o.TimeClock = -1 }, "TimeClock"},
+		{"unknown-order", func(o *Options) { o.Search = SearchOrder(99) }, "search order"},
+		{"besttime-no-clock", func(o *Options) { o.Search = BestTime }, "TimeClock"},
+		{"bsh-tiny-table", func(o *Options) { o.Search = BSH; o.HashBits = 2 }, "HashBits"},
+		{"bsh-huge-table", func(o *Options) { o.Search = BSH; o.HashBits = 40 }, "HashBits"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := DefaultOptions(DFS)
+			tc.mut(&opts)
+			err := opts.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted %+v", opts)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not name %q", err, tc.want)
+			}
+			// The engine entry point returns the same error instead of
+			// misbehaving silently.
+			sys, goal := chainSystem(t)
+			if _, eerr := Explore(sys, goal, opts); eerr == nil {
+				t.Error("Explore accepted options Validate rejected")
+			}
+		})
+	}
+}
+
+func TestNormalizeCanonicalizes(t *testing.T) {
+	opts := DefaultOptions(BFS)
+	opts.Workers = 0
+	n, err := opts.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Workers != 1 {
+		t.Errorf("Workers 0 should canonicalize to 1, got %d", n.Workers)
+	}
+
+	opts = DefaultOptions(BSH)
+	opts.Workers = 8
+	n, err = opts.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Workers != 1 {
+		t.Errorf("BSH is sequential; Workers should normalize to 1, got %d", n.Workers)
+	}
+
+	if err := DefaultOptions(DFS).Validate(); err != nil {
+		t.Errorf("defaults should validate: %v", err)
+	}
+}
+
+// TestNormalizedWorkersStillExplore guards the canonicalization end to end:
+// Workers = 0 runs the sequential search and returns the same verdict as
+// Workers = 1.
+func TestNormalizedWorkersStillExplore(t *testing.T) {
+	sys, goal := chainSystem(t)
+	opts := DefaultOptions(BFS)
+	opts.Workers = 0
+	res0, err := Explore(sys, goal, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys1, goal1 := chainSystem(t)
+	opts.Workers = 1
+	res1, err := Explore(sys1, goal1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res0.Found != res1.Found || res0.Stats.StatesExplored != res1.Stats.StatesExplored {
+		t.Errorf("Workers 0 and 1 disagree: %+v vs %+v", res0.Stats, res1.Stats)
+	}
+}

@@ -1,0 +1,251 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"guidedta/internal/cliutil"
+	"guidedta/internal/mc"
+	"guidedta/internal/plant"
+	"guidedta/internal/rcx"
+	"guidedta/internal/schedule"
+	"guidedta/internal/synth"
+	"guidedta/internal/tadsl"
+)
+
+// SubmitRequest is the POST /jobs body: a model to check (tadsl source or
+// a named plant configuration) plus search options.
+type SubmitRequest struct {
+	// Model is tadsl source text including a `query exists ...` line.
+	Model string `json:"model,omitempty"`
+	// Plant asks for the paper's batch-plant scheduling pipeline instead
+	// of a raw model: the schedule search plus RCX program synthesis.
+	Plant *PlantRequest `json:"plant,omitempty"`
+	// Options configures the search; zero values take server defaults.
+	Options OptionsRequest `json:"options"`
+}
+
+// PlantRequest names a plant scheduling instance, mirroring the
+// cmd/plantsynth flags.
+type PlantRequest struct {
+	// Batches cycles the default Q1,Q2,Q3 production list to this length
+	// (ignored when Qualities is given).
+	Batches int `json:"batches,omitempty"`
+	// Qualities is an explicit production list (steel qualities 1..5).
+	Qualities []int `json:"qualities,omitempty"`
+	// Guides is the guide level: "none", "some", or "all" (default).
+	Guides string `json:"guides,omitempty"`
+}
+
+func (p *PlantRequest) resolve() (plant.Config, error) {
+	cfg := plant.Config{Guides: plant.AllGuides}
+	switch strings.ToLower(p.Guides) {
+	case "", "all":
+	case "some":
+		cfg.Guides = plant.SomeGuides
+	case "none":
+		cfg.Guides = plant.NoGuides
+	default:
+		return cfg, fmt.Errorf("unknown guide level %q", p.Guides)
+	}
+	if len(p.Qualities) > 0 {
+		for _, q := range p.Qualities {
+			if q < 1 || q > 5 {
+				return cfg, fmt.Errorf("quality %d out of range [1,5]", q)
+			}
+			cfg.Qualities = append(cfg.Qualities, plant.Quality(q))
+		}
+		return cfg, nil
+	}
+	if p.Batches < 1 {
+		return cfg, fmt.Errorf("need batches >= 1 or an explicit qualities list")
+	}
+	if p.Batches > 60 {
+		return cfg, fmt.Errorf("batches %d too large (max 60)", p.Batches)
+	}
+	cfg.Qualities = plant.CycleQualities(p.Batches)
+	return cfg, nil
+}
+
+// OptionsRequest is the JSON projection of the client-settable mc.Options,
+// mirroring the cliutil flag block field for field.
+type OptionsRequest struct {
+	Search         string  `json:"search,omitempty"` // bfs, dfs (default), bsh, besttime
+	HashBits       int     `json:"hash_bits,omitempty"`
+	NoInclusion    bool    `json:"no_inclusion,omitempty"`
+	NoActiveClocks bool    `json:"no_active_clocks,omitempty"`
+	Compact        bool    `json:"compact,omitempty"`
+	Workers        int     `json:"workers,omitempty"`
+	MaxStates      int     `json:"max_states,omitempty"`
+	MaxMemoryMB    int64   `json:"max_memory_mb,omitempty"`
+	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
+}
+
+func (o OptionsRequest) resolve() (mc.Options, error) {
+	search := o.Search
+	if search == "" {
+		search = "dfs"
+	}
+	order, err := cliutil.ParseSearch(search)
+	if err != nil {
+		return mc.Options{}, err
+	}
+	opts := mc.DefaultOptions(order)
+	if o.HashBits != 0 {
+		opts.HashBits = o.HashBits
+	}
+	opts.Inclusion = !o.NoInclusion
+	opts.ActiveClocks = !o.NoActiveClocks
+	opts.Compact = o.Compact
+	opts.Workers = o.Workers
+	opts.MaxStates = o.MaxStates
+	opts.MaxMemory = o.MaxMemoryMB << 20
+	if o.TimeoutSeconds < 0 {
+		return mc.Options{}, fmt.Errorf("timeout_seconds must be >= 0")
+	}
+	opts.Timeout = time.Duration(o.TimeoutSeconds * float64(time.Second))
+	opts.Profile = true // reports always carry the full counters
+	return opts, opts.Validate()
+}
+
+// JobJSON is the wire form of a job record, returned by POST /jobs, GET
+// /jobs/{id}, DELETE /jobs/{id}, and the final SSE event.
+type JobJSON struct {
+	ID          string     `json:"id"`
+	State       JobState   `json:"state"`
+	Cache       CacheState `json:"cache"`
+	Created     string     `json:"created"`
+	Query       string     `json:"query,omitempty"`
+	ModelSHA256 string     `json:"model_sha256,omitempty"`
+	Key         string     `json:"key,omitempty"`
+	// Report is the schema-validated run report (internal/cliutil) once
+	// the job settles.
+	Report *cliutil.RunReport `json:"report,omitempty"`
+	// Schedule and Program carry the synthesis artifacts of plant jobs.
+	Schedule *ScheduleJSON `json:"schedule,omitempty"`
+	Program  *ProgramJSON  `json:"program,omitempty"`
+	Error    string        `json:"error,omitempty"`
+}
+
+// jobJSON renders a job under its lock-consistent snapshot.
+func jobJSON(j *Job) JobJSON {
+	st, out := j.snapshot()
+	jj := JobJSON{
+		ID:          j.ID,
+		State:       st,
+		Cache:       j.CacheState,
+		Created:     j.Created.Format(time.RFC3339),
+		Query:       j.Query,
+		ModelSHA256: j.ModelSHA256,
+		Key:         j.Key,
+	}
+	if out != nil {
+		jj.Report = out.report
+		jj.Schedule = out.schedule
+		jj.Program = out.program
+		if out.err != nil {
+			jj.Error = out.err.Error()
+		}
+	}
+	return jj
+}
+
+// ScheduleJSON is the projected plant schedule of a plant job: the
+// paper's Table 2 content in machine-readable form.
+type ScheduleJSON struct {
+	Commands []ScheduleCommand `json:"commands"`
+	Horizon  string            `json:"horizon"`
+	Batches  int               `json:"batches"`
+	Text     string            `json:"text"`
+}
+
+// ScheduleCommand is one timestamped plant command.
+type ScheduleCommand struct {
+	Time   string `json:"time"`
+	Unit   string `json:"unit"`
+	Action string `json:"action"`
+}
+
+func scheduleJSON(s schedule.Schedule) *ScheduleJSON {
+	out := &ScheduleJSON{
+		Horizon: mc.TimeString(s.Horizon),
+		Batches: s.Batches,
+		Text:    s.Format(),
+	}
+	for _, l := range s.Lines {
+		out.Commands = append(out.Commands, ScheduleCommand{
+			Time:   mc.TimeString(l.Time),
+			Unit:   l.Cmd.Unit,
+			Action: l.Cmd.Action,
+		})
+	}
+	return out
+}
+
+// ProgramJSON is the synthesized RCX control program of a plant job.
+type ProgramJSON struct {
+	Instructions int    `json:"instructions"`
+	CommandCodes int    `json:"command_codes"`
+	Text         string `json:"text"`
+}
+
+func programJSON(p rcx.Program, codec *synth.Codec) *ProgramJSON {
+	return &ProgramJSON{
+		Instructions: len(p),
+		CommandCodes: codec.NumCommands(),
+		Text:         p.String(),
+	}
+}
+
+// StatusJSON is the GET /status body: queue, worker, job, and cache
+// health in one view (also published as an expvar by StatusVar).
+type StatusJSON struct {
+	State              string           `json:"state"` // serving | draining
+	QueueDepth         int              `json:"queue_depth"`
+	QueueCap           int              `json:"queue_cap"`
+	Workers            []WorkerStatus   `json:"workers"`
+	Jobs               map[JobState]int `json:"jobs"`
+	ExecutionsStarted  int64            `json:"executions_started"`
+	ExecutionsFinished int64            `json:"executions_finished"`
+	Cache              CacheStatus      `json:"cache"`
+}
+
+// WorkerStatus is one pool worker's live state.
+type WorkerStatus struct {
+	Busy    bool    `json:"busy"`
+	Job     string  `json:"job,omitempty"` // short cache key of the running execution
+	Seconds float64 `json:"seconds,omitempty"`
+}
+
+// Status assembles the live service view.
+func (s *Server) Status() StatusJSON {
+	st := StatusJSON{
+		State:              "serving",
+		QueueDepth:         s.queue.depth(),
+		QueueCap:           s.queue.cap(),
+		Jobs:               s.jobs.counts(),
+		ExecutionsStarted:  s.started.Load(),
+		ExecutionsFinished: s.finished.Load(),
+		Cache:              s.cache.status(),
+	}
+	if s.draining.Load() {
+		st.State = "draining"
+	}
+	for i := range s.workers {
+		w := &s.workers[i]
+		w.mu.Lock()
+		ws := WorkerStatus{Busy: w.key != ""}
+		if ws.Busy {
+			ws.Job = shortKey(w.key)
+			ws.Seconds = time.Since(w.since).Seconds()
+		}
+		w.mu.Unlock()
+		st.Workers = append(st.Workers, ws)
+	}
+	return st
+}
+
+// parseModel parses tadsl source (indirection so serve.go stays free of a
+// direct tadsl dependency beyond hashing).
+func parseModel(src string) (*tadsl.Model, error) { return tadsl.Parse(src) }

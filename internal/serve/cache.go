@@ -1,0 +1,212 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"sync"
+
+	"guidedta/internal/mc"
+	"guidedta/internal/ta"
+	"guidedta/internal/tadsl"
+)
+
+// hashModel is tadsl.Hash behind one name so the cache key and the run
+// report provably share the model identity.
+func hashModel(sys *ta.System, goal *mc.Goal) (string, error) {
+	return tadsl.Hash(sys, goal)
+}
+
+// cacheKey derives the content address of a query: the canonical model
+// sha256 combined with the normalized search options. Everything that can
+// change the answer or the reported effort — order, store flavor,
+// parallelism, limits — is part of the key; observability knobs
+// (SnapshotEvery, Observer, Profile) deliberately are not.
+func cacheKey(modelSHA string, opts mc.Options) string {
+	// The projection marshals deterministically (fixed struct field
+	// order), so identical options always serialize identically.
+	proj := struct {
+		Search    string
+		HashBits  int
+		Coarse    bool
+		Inclusion bool
+		Compact   bool
+		Extrap    bool
+		Classic   bool
+		Active    bool
+		Workers   int
+		MaxStates int
+		MaxMemory int64
+		TimeoutNS int64
+		TimeClock int
+		Horizon   int32
+	}{
+		Search:    opts.Search.String(),
+		HashBits:  opts.HashBits,
+		Coarse:    opts.CoarseHash,
+		Inclusion: opts.Inclusion,
+		Compact:   opts.Compact,
+		Extrap:    opts.Extrapolate,
+		Classic:   opts.ClassicExtrapolation,
+		Active:    opts.ActiveClocks,
+		Workers:   opts.Workers,
+		MaxStates: opts.MaxStates,
+		MaxMemory: opts.MaxMemory,
+		TimeoutNS: int64(opts.Timeout),
+		TimeClock: opts.TimeClock,
+		Horizon:   opts.TimeHorizon,
+	}
+	data, _ := json.Marshal(proj)
+	h := sha256.Sum256(append([]byte(modelSHA+"|"), data...))
+	return hex.EncodeToString(h[:])
+}
+
+// cache is the content-addressed result store plus the singleflight table
+// of in-flight executions. Both live under one lock so the
+// hit/coalesce/miss decision and the completion handoff are atomic: a job
+// either sees the settled outcome or is attached to the execution that
+// will produce it — never neither.
+type cache struct {
+	mu       sync.Mutex
+	max      int
+	entries  map[string]*cacheEntry
+	order    []string
+	inflight map[string]*execution
+
+	hits      int64
+	misses    int64
+	coalesces int64
+}
+
+type cacheEntry struct {
+	out *outcome
+	// report is re-shared verbatim; outcomes are immutable once settled.
+}
+
+func newCache(max int) *cache {
+	return &cache{
+		max:      max,
+		entries:  make(map[string]*cacheEntry),
+		inflight: make(map[string]*execution),
+	}
+}
+
+// admit resolves a new job against the cache: a settled outcome (hit), an
+// attachable in-flight execution (coalesce), or registration of ex as the
+// new in-flight execution for its key (miss — the caller must then enqueue
+// ex or call abandon). A canceled-but-unsettled in-flight execution is
+// replaced rather than joined, so late arrivals never inherit a
+// cancellation they did not request.
+func (c *cache) admit(ex *execution, job *Job) (out *outcome, attached *execution, coalesced bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[ex.key]; ok {
+		c.hits++
+		return e.out, nil, false
+	}
+	if running, ok := c.inflight[ex.key]; ok && running.ctx.Err() == nil {
+		if running.attach(job) {
+			c.coalesces++
+			return nil, running, true
+		}
+		// Settled between the entries check and attach: the settle path
+		// runs outside this lock only for its job completions, so the
+		// entry must be here now — unless the outcome was uncacheable, in
+		// which case fall through to a fresh miss.
+		if e, ok := c.entries[ex.key]; ok {
+			c.hits++
+			return e.out, nil, false
+		}
+	}
+	c.misses++
+	ex.attach(job)
+	c.inflight[ex.key] = ex
+	return nil, ex, false
+}
+
+// settle records an execution's outcome, replacing its in-flight entry
+// with a cache entry (when cacheable), and returns the jobs to notify.
+func (c *cache) settle(ex *execution, out *outcome) []*Job {
+	c.mu.Lock()
+	if c.inflight[ex.key] == ex {
+		delete(c.inflight, ex.key)
+	}
+	if out.cacheable() {
+		if _, exists := c.entries[ex.key]; !exists {
+			c.entries[ex.key] = &cacheEntry{out: out}
+			c.order = append(c.order, ex.key)
+			for len(c.entries) > c.max && len(c.order) > 0 {
+				oldest := c.order[0]
+				c.order = c.order[1:]
+				delete(c.entries, oldest)
+			}
+		}
+	}
+	c.mu.Unlock()
+
+	ex.mu.Lock()
+	ex.settled = true
+	jobs := ex.jobs
+	ex.mu.Unlock()
+	return jobs
+}
+
+// abandon removes a never-enqueued execution's in-flight registration
+// (queue-full rejection).
+func (c *cache) abandon(ex *execution) {
+	c.mu.Lock()
+	if c.inflight[ex.key] == ex {
+		delete(c.inflight, ex.key)
+	}
+	c.mu.Unlock()
+	ex.cancel()
+}
+
+// cancelInflight cancels every in-flight execution (drain deadline) and
+// reports how many it hit.
+func (c *cache) cancelInflight() int {
+	c.mu.Lock()
+	exs := make([]*execution, 0, len(c.inflight))
+	for _, ex := range c.inflight {
+		exs = append(exs, ex)
+	}
+	c.mu.Unlock()
+	for _, ex := range exs {
+		ex.cancel()
+	}
+	return len(exs)
+}
+
+func (c *cache) inflightCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.inflight)
+}
+
+// CacheStatus is the cache block of /status.
+type CacheStatus struct {
+	Entries   int     `json:"entries"`
+	Max       int     `json:"max"`
+	InFlight  int     `json:"in_flight"`
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Coalesced int64   `json:"coalesced"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
+func (c *cache) status() CacheStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := CacheStatus{
+		Entries:   len(c.entries),
+		Max:       c.max,
+		InFlight:  len(c.inflight),
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Coalesced: c.coalesces,
+	}
+	if total := c.hits + c.misses + c.coalesces; total > 0 {
+		st.HitRate = float64(c.hits) / float64(total)
+	}
+	return st
+}

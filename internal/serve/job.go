@@ -1,0 +1,322 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"guidedta/internal/cliutil"
+	"guidedta/internal/mc"
+	"guidedta/internal/plant"
+	"guidedta/internal/ta"
+)
+
+// JobState is the lifecycle of one submitted job.
+type JobState string
+
+// Job lifecycle states. A canceled job keeps JobCanceled even after its
+// (shared) execution settles; its report then records how the execution
+// actually ended — AbortCanceled when the cancellation stopped the search,
+// or a complete result when other coalesced jobs kept it running.
+const (
+	JobQueued   JobState = "queued"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
+)
+
+// CacheState says how admission resolved a job against the result cache.
+type CacheState string
+
+// Admission outcomes: a fresh execution, a replayed cached report, or a
+// coalesced ride on an identical in-flight execution.
+const (
+	CacheMiss      CacheState = "miss"
+	CacheHit       CacheState = "hit"
+	CacheCoalesced CacheState = "coalesced"
+)
+
+// Job is one submitted request's record: admission metadata plus, once the
+// underlying execution settles, its outcome. Jobs are cheap — coalesced
+// and cache-hit jobs never own an execution.
+type Job struct {
+	ID          string
+	Created     time.Time
+	Query       string
+	ModelSHA256 string
+	Key         string
+	CacheState  CacheState
+
+	exec *execution // nil for cache hits
+
+	mu       sync.Mutex
+	state    JobState
+	out      *outcome
+	canceled bool
+}
+
+func (j *Job) setState(st JobState) {
+	j.mu.Lock()
+	if !j.canceled {
+		j.state = st
+	}
+	j.mu.Unlock()
+}
+
+// complete records the settled outcome. A canceled job keeps its canceled
+// state but still receives the final report ("flush final reports").
+func (j *Job) complete(out *outcome) {
+	j.mu.Lock()
+	j.out = out
+	if !j.canceled {
+		switch {
+		case out.err != nil && out.abort == mc.AbortNone:
+			j.state = JobFailed
+		default:
+			j.state = JobDone
+		}
+	}
+	j.mu.Unlock()
+}
+
+// cancel withdraws this job's interest in its execution. The execution is
+// only canceled when no other (coalesced) job still wants its answer.
+func (j *Job) cancel() {
+	j.mu.Lock()
+	already := j.canceled || j.state == JobDone || j.state == JobFailed
+	if !already {
+		j.canceled = true
+		j.state = JobCanceled
+	}
+	j.mu.Unlock()
+	if already || j.exec == nil {
+		return
+	}
+	j.exec.release()
+}
+
+// snapshot returns the state and outcome under the job's lock.
+func (j *Job) snapshot() (JobState, *outcome) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.out
+}
+
+// wait blocks until the job's execution settles or ctx is done. Jobs
+// without an execution (cache hits) are already settled.
+func (j *Job) wait(ctx context.Context) {
+	if j.exec == nil {
+		return
+	}
+	select {
+	case <-j.exec.done:
+	case <-ctx.Done():
+	}
+}
+
+// execution is one underlying model-checking run, shared by every job that
+// coalesced onto its cache key. It owns the built model, the resolved
+// options, a cancellation context refcounted by job interest, and the live
+// snapshot fan-out for event streams.
+type execution struct {
+	key      string
+	modelSHA string
+	query    string
+
+	sys  *ta.System
+	goal mc.Goal
+	opts mc.Options
+
+	isPlant  bool
+	plantCfg plant.Config
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// running flips when a worker picks the execution up, so jobs
+	// coalescing onto it report "running" rather than "queued".
+	running atomic.Bool
+
+	done chan struct{} // closed when the outcome has been published
+
+	mu       sync.Mutex
+	jobs     []*Job
+	released int
+	last     *mc.Snapshot
+	subs     map[chan mc.Snapshot]struct{}
+	settled  bool
+}
+
+// attach registers a job's interest; it fails once the execution has
+// settled (the caller then replays the cached outcome instead).
+func (ex *execution) attach(j *Job) bool {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	if ex.settled {
+		return false
+	}
+	ex.jobs = append(ex.jobs, j)
+	return true
+}
+
+// release drops one job's interest; the last release cancels the search.
+func (ex *execution) release() {
+	ex.mu.Lock()
+	ex.released++
+	cancelNow := !ex.settled && ex.released >= len(ex.jobs)
+	ex.mu.Unlock()
+	if cancelNow {
+		ex.cancel()
+	}
+}
+
+// publish fans a progress snapshot out to every subscribed event stream;
+// slow subscribers drop samples rather than stall the sampler.
+func (ex *execution) publish(s mc.Snapshot) {
+	ex.mu.Lock()
+	ex.last = &s
+	for ch := range ex.subs {
+		select {
+		case ch <- s:
+		default:
+		}
+	}
+	ex.mu.Unlock()
+}
+
+// subscribe opens a snapshot channel for an event stream, replaying the
+// latest snapshot so a late subscriber sees progress immediately.
+func (ex *execution) subscribe() chan mc.Snapshot {
+	ch := make(chan mc.Snapshot, 8)
+	ex.mu.Lock()
+	if ex.subs == nil {
+		ex.subs = make(map[chan mc.Snapshot]struct{})
+	}
+	ex.subs[ch] = struct{}{}
+	if ex.last != nil {
+		ch <- *ex.last
+	}
+	ex.mu.Unlock()
+	return ch
+}
+
+func (ex *execution) unsubscribe(ch chan mc.Snapshot) {
+	ex.mu.Lock()
+	delete(ex.subs, ch)
+	ex.mu.Unlock()
+}
+
+// jobsNow copies the currently attached jobs.
+func (ex *execution) jobsNow() []*Job {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	return append([]*Job(nil), ex.jobs...)
+}
+
+// outcome is the settled result of one execution, shared verbatim between
+// the cache and every attached job.
+type outcome struct {
+	report   *cliutil.RunReport
+	found    bool
+	abort    mc.AbortReason
+	schedule *ScheduleJSON
+	program  *ProgramJSON
+	err      error
+}
+
+func (o *outcome) describe() string {
+	switch {
+	case o.err != nil && o.abort == mc.AbortNone:
+		return fmt.Sprintf("failed: %v", o.err)
+	case o.abort != mc.AbortNone:
+		return fmt.Sprintf("aborted: %s", o.abort)
+	case o.found:
+		return "satisfied"
+	default:
+		return "not satisfied"
+	}
+}
+
+// cacheable says whether the outcome may be replayed for future identical
+// queries. Canceled runs are a property of the client, not the query, and
+// engine errors should not be pinned; everything else — verdicts, timeouts
+// and limit aborts under the very options that imposed them — is content.
+func (o *outcome) cacheable() bool {
+	return o.abort != mc.AbortCanceled && (o.err == nil || o.abort != mc.AbortNone)
+}
+
+// registry holds job records by id with bounded retention.
+type registry struct {
+	mu     sync.Mutex
+	nextID int64
+	jobs   map[string]*Job
+	order  []string
+	max    int
+}
+
+func newRegistry(max int) *registry {
+	return &registry{jobs: make(map[string]*Job), max: max}
+}
+
+func (r *registry) create() *Job {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextID++
+	j := &Job{
+		ID:      fmt.Sprintf("j%06d", r.nextID),
+		Created: time.Now().UTC(),
+		state:   JobQueued,
+	}
+	r.jobs[j.ID] = j
+	r.order = append(r.order, j.ID)
+	r.evictLocked()
+	return j
+}
+
+// evictLocked drops the oldest settled jobs beyond the retention bound;
+// queued/running jobs are never evicted.
+func (r *registry) evictLocked() {
+	for i := 0; len(r.jobs) > r.max && i < len(r.order); {
+		id := r.order[i]
+		j, ok := r.jobs[id]
+		if !ok {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			continue
+		}
+		st, _ := j.snapshot()
+		if st == JobQueued || st == JobRunning {
+			i++
+			continue
+		}
+		delete(r.jobs, id)
+		r.order = append(r.order[:i], r.order[i+1:]...)
+	}
+}
+
+func (r *registry) get(id string) (*Job, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j, ok := r.jobs[id]
+	return j, ok
+}
+
+func (r *registry) remove(id string) {
+	r.mu.Lock()
+	delete(r.jobs, id)
+	r.mu.Unlock()
+}
+
+// counts tallies jobs by state for /status.
+func (r *registry) counts() map[JobState]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[JobState]int, 5)
+	for _, j := range r.jobs {
+		st, _ := j.snapshot()
+		out[st]++
+	}
+	return out
+}

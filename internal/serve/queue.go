@@ -1,0 +1,72 @@
+package serve
+
+import "sync"
+
+// queue is the bounded admission queue feeding the worker pool. Admission
+// is non-blocking: a full queue rejects instead of stalling the HTTP
+// handler, which is what turns overload into 429s rather than piled-up
+// goroutines. wg spans an execution's whole queued+running life, so Drain
+// can wait for the world to settle with one Wait.
+type queue struct {
+	mu     sync.Mutex
+	ch     chan *execution
+	quit   chan struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+func newQueue(depth int) *queue {
+	return &queue{ch: make(chan *execution, depth), quit: make(chan struct{})}
+}
+
+// tryPush admits an execution; false means the queue is full (or shutting
+// down) and the caller must reject the request.
+func (q *queue) tryPush(ex *execution) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	q.wg.Add(1)
+	select {
+	case q.ch <- ex:
+		return true
+	default:
+		q.wg.Done()
+		return false
+	}
+}
+
+// pop blocks for the next execution; ok is false when the pool is being
+// stopped.
+func (q *queue) pop() (*execution, bool) {
+	select {
+	case ex := <-q.ch:
+		return ex, true
+	case <-q.quit:
+		// Keep draining anything still buffered so no admitted execution
+		// is silently dropped (close happens only after wg settles, so in
+		// practice the buffer is empty here).
+		select {
+		case ex := <-q.ch:
+			return ex, true
+		default:
+			return nil, false
+		}
+	}
+}
+
+// depth is the current number of queued (not yet running) executions.
+func (q *queue) depth() int { return len(q.ch) }
+
+func (q *queue) cap() int { return cap(q.ch) }
+
+// close stops the worker pool; safe to call once after wg has settled.
+func (q *queue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !q.closed {
+		q.closed = true
+		close(q.quit)
+	}
+}

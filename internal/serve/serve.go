@@ -1,0 +1,374 @@
+// Package serve is the synthesis service: a long-running HTTP/JSON server
+// wrapping the model checker and the guided-synthesis pipeline for
+// repeated queries. It composes the seams the library already provides —
+// re-entrant mc.ExploreContext searches, canonical tadsl.Hash model
+// identity, Observer progress snapshots — into a serving layer:
+//
+//   - Clients POST a tadsl model or a named plant configuration with
+//     search options to /jobs. Jobs are admitted through a bounded queue
+//     (429 + Retry-After when full) and run on a fixed worker pool with
+//     per-job deadlines; DELETE /jobs/{id} cancels a job.
+//   - Work is deduplicated through a content-addressed result cache keyed
+//     by the model's canonical sha256 plus the normalized options:
+//     concurrent identical queries coalesce onto one underlying
+//     exploration (singleflight) and later hits return the cached report
+//     without searching at all.
+//   - Live progress rides the Observer/Snapshot seam: GET
+//     /jobs/{id}/events streams periodic snapshots as server-sent events,
+//     and /status exposes queue depth, cache hit rate, and per-worker
+//     state (also available as an expvar via StatusVar).
+//   - Drain stops admission and finishes or cancels in-flight jobs so
+//     SIGTERM lands as a clean shutdown with every final report flushed.
+//
+// Completed jobs return the schema-validated JSON run report of
+// internal/cliutil, plus the projected schedule and RCX control program
+// for plant queries.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"guidedta/internal/cliutil"
+	"guidedta/internal/core"
+	"guidedta/internal/mc"
+	"guidedta/internal/plant"
+	"guidedta/internal/synth"
+)
+
+// Config tunes the service. The zero value serves with sensible defaults;
+// see the field comments for what zero means per knob.
+type Config struct {
+	// Workers is the search worker pool size (default runtime.NumCPU).
+	// Each worker runs one job at a time; a job's own mc.Options.Workers
+	// parallelism nests inside it.
+	Workers int
+	// QueueDepth bounds the admission queue (default 64). A POST that
+	// finds the queue full is rejected with 429 and a Retry-After header
+	// instead of queueing unboundedly.
+	QueueDepth int
+	// JobTimeout caps every job's search wall-clock time (0 = no cap). A
+	// tighter per-request timeout in the submitted options still applies.
+	JobTimeout time.Duration
+	// SnapshotEvery is the progress sampling interval for event streams
+	// and reports (default 250ms).
+	SnapshotEvery time.Duration
+	// CacheSize bounds the completed-result cache entries (default 256;
+	// eviction is oldest-first).
+	CacheSize int
+	// MaxJobs bounds retained job records (default 4096; finished jobs are
+	// evicted oldest-first beyond it).
+	MaxJobs int
+	// Logf, when set, receives one line per lifecycle event (admission,
+	// completion, drain). Nil means silent.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 250 * time.Millisecond
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 256
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 4096
+	}
+	return c
+}
+
+// Server is the synthesis service. Create with New, mount Handler on an
+// http.Server, and call Drain before exit.
+type Server struct {
+	cfg   Config
+	queue *queue
+	cache *cache
+	jobs  *registry
+
+	workers []workerState
+
+	draining atomic.Bool
+	started  atomic.Int64 // executions handed to ExploreContext/Synthesize
+	finished atomic.Int64 // executions completed (any outcome)
+
+	drainOnce sync.Once
+}
+
+// workerState is one worker's live status for /status.
+type workerState struct {
+	mu    sync.Mutex
+	key   string // cache key of the running execution ("" when idle)
+	since time.Time
+}
+
+func (w *workerState) set(key string) {
+	w.mu.Lock()
+	w.key, w.since = key, time.Now()
+	w.mu.Unlock()
+}
+
+// New creates a server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		cache:   newCache(cfg.CacheSize),
+		jobs:    newRegistry(cfg.MaxJobs),
+		workers: make([]workerState, cfg.Workers),
+	}
+	s.queue = newQueue(cfg.QueueDepth)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker(i)
+	}
+	return s
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// worker pulls executions off the queue and runs them until Drain stops
+// the pool.
+func (s *Server) worker(i int) {
+	ws := &s.workers[i]
+	for {
+		ex, ok := s.queue.pop()
+		if !ok {
+			return
+		}
+		ws.set(ex.key)
+		s.run(ex)
+		ws.set("")
+		s.queue.wg.Done()
+	}
+}
+
+// submit admits one decoded request: it resolves the model, computes the
+// content-addressed key, and either returns a cached outcome, coalesces
+// onto an identical in-flight execution, or enqueues a new one. The
+// returned job is registered; err is an admissionError for client
+// mistakes and queue overflow.
+func (s *Server) submit(req *SubmitRequest) (*Job, error) {
+	if s.draining.Load() {
+		return nil, errDraining
+	}
+	ex, err := s.buildExecution(req)
+	if err != nil {
+		return nil, err
+	}
+
+	job := s.jobs.create()
+	job.Query = ex.query
+	job.ModelSHA256 = ex.modelSHA
+	job.Key = ex.key
+
+	out, attached, coalesced := s.cache.admit(ex, job)
+	switch {
+	case out != nil:
+		job.CacheState = CacheHit
+		job.complete(out)
+		s.logf("job %s: cache hit (%s)", job.ID, shortKey(ex.key))
+	case coalesced:
+		job.CacheState = CacheCoalesced
+		job.exec = attached
+		if attached.running.Load() {
+			job.setState(JobRunning)
+		}
+		s.logf("job %s: coalesced onto %s", job.ID, shortKey(ex.key))
+	default:
+		job.CacheState = CacheMiss
+		job.exec = ex
+		if !s.queue.tryPush(ex) {
+			// Admission control: undo the in-flight registration and
+			// reject; the job record never becomes visible.
+			s.cache.abandon(ex)
+			s.jobs.remove(job.ID)
+			return nil, errQueueFull
+		}
+		s.logf("job %s: queued (%s)", job.ID, shortKey(ex.key))
+	}
+	return job, nil
+}
+
+// buildExecution resolves a request into a runnable execution with its
+// content-addressed key. Model construction happens at admission time so
+// bad requests fail with a 400 before consuming a queue slot.
+func (s *Server) buildExecution(req *SubmitRequest) (*execution, error) {
+	opts, err := req.Options.resolve()
+	if err != nil {
+		return nil, badRequestf("bad options: %v", err)
+	}
+	if s.cfg.JobTimeout > 0 && (opts.Timeout == 0 || opts.Timeout > s.cfg.JobTimeout) {
+		opts.Timeout = s.cfg.JobTimeout
+	}
+	if opts.SnapshotEvery == 0 {
+		opts.SnapshotEvery = s.cfg.SnapshotEvery
+	}
+
+	ex := &execution{done: make(chan struct{})}
+	ex.ctx, ex.cancel = context.WithCancel(context.Background())
+
+	switch {
+	case req.Model != "" && req.Plant != nil:
+		return nil, badRequestf("give either a tadsl model or a plant configuration, not both")
+	case req.Model != "":
+		model, err := parseModel(req.Model)
+		if err != nil {
+			return nil, badRequestf("bad model: %v", err)
+		}
+		if !model.HasQuery {
+			return nil, badRequestf("model has no `query exists ...` line")
+		}
+		ex.sys, ex.goal = model.Sys, model.Query
+		ex.query = model.Query.String()
+	case req.Plant != nil:
+		cfg, err := req.Plant.resolve()
+		if err != nil {
+			return nil, badRequestf("bad plant configuration: %v", err)
+		}
+		p, err := plant.Build(cfg)
+		if err != nil {
+			return nil, badRequestf("bad plant configuration: %v", err)
+		}
+		if opts.Search == mc.BestTime {
+			// Same wiring as cmd/plantsynth: best-first time order needs
+			// the plant's global clock and a horizon it stays observable to.
+			opts.TimeClock = p.GlobalClock
+			opts.TimeHorizon = p.Cfg.Params.Deadline * int32(len(cfg.Qualities)+2)
+		}
+		ex.plantCfg, ex.isPlant = cfg, true
+		ex.sys, ex.goal = p.Sys, p.Goal
+		ex.query = p.Goal.String()
+	default:
+		return nil, badRequestf("request needs a tadsl model or a plant configuration")
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, badRequestf("bad options: %v", err)
+	}
+	ex.opts = opts
+
+	sha, err := hashModel(ex.sys, &ex.goal)
+	if err != nil {
+		return nil, badRequestf("model cannot be serialized: %v", err)
+	}
+	ex.modelSHA = sha
+	ex.key = cacheKey(sha, opts)
+	return ex, nil
+}
+
+// run executes one admitted execution on a worker and publishes its
+// outcome to the cache and every attached job. It never panics the worker:
+// pipeline errors become failed outcomes.
+func (s *Server) run(ex *execution) {
+	ex.running.Store(true)
+	for _, j := range ex.jobsNow() {
+		j.setState(JobRunning)
+	}
+	s.started.Add(1)
+	out := s.execute(ex)
+	s.finished.Add(1)
+
+	jobs := s.cache.settle(ex, out)
+	for _, j := range jobs {
+		j.complete(out)
+	}
+	close(ex.done)
+	s.logf("exec %s: %s (%d job(s))", shortKey(ex.key), out.describe(), len(jobs))
+}
+
+// execute runs the search (or the full synthesis pipeline for plant jobs)
+// under the execution's cancellation context, filling a run report through
+// the same observer seam the CLI tools use.
+func (s *Server) execute(ex *execution) *outcome {
+	rep := cliutil.NewReport("mcserved")
+	name := "model"
+	if ex.isPlant {
+		name = fmt.Sprintf("plant %d batches, %s guides", len(ex.plantCfg.Qualities), ex.plantCfg.Guides)
+	}
+	run := rep.Run(name)
+	run.SetModel(ex.sys, &ex.goal)
+	run.SetOptions(ex.opts)
+
+	opts := ex.opts
+	opts.Observer = mc.Observers(
+		run.Observer(),
+		&mc.FuncObserver{OnSnapshot: ex.publish},
+		opts.Observer,
+	)
+
+	out := &outcome{report: run}
+	if ex.isPlant {
+		res, err := core.SynthesizeContext(ex.ctx, ex.plantCfg, opts, synth.Options{})
+		if err != nil {
+			// An unreachable goal or an aborted search surfaces as an
+			// error from the pipeline; the report still carries the search
+			// statistics through the observer. Cancellation and limits are
+			// expected service outcomes, not failures.
+			out.abort = mc.AbortReason(run.Result.Abort)
+			out.err = err
+			return out
+		}
+		out.found = true
+		out.schedule = scheduleJSON(res.Schedule)
+		out.program = programJSON(res.Program, res.Codec)
+		return out
+	}
+
+	res, err := mc.ExploreContext(ex.ctx, ex.sys, ex.goal, opts)
+	if err != nil {
+		out.err = err
+		return out
+	}
+	out.found = res.Found
+	out.abort = res.Abort
+	return out
+}
+
+// Drain gracefully shuts the service down: admission stops (new POSTs get
+// 503), queued and running jobs are given until ctx expires to finish,
+// then every remaining execution is canceled and awaited — cancellation is
+// prompt, and each canceled job still flushes a final report with abort
+// "canceled". Drain returns once every execution has settled and the
+// worker pool has stopped; it is idempotent.
+func (s *Server) Drain(ctx context.Context) {
+	s.draining.Store(true)
+	s.drainOnce.Do(func() {
+		s.logf("drain: admission closed, %d execution(s) in flight", s.cache.inflightCount())
+		settled := make(chan struct{})
+		go func() {
+			s.queue.wg.Wait()
+			close(settled)
+		}()
+		select {
+		case <-settled:
+		case <-ctx.Done():
+			canceled := s.cache.cancelInflight()
+			s.logf("drain: deadline hit, canceled %d execution(s)", canceled)
+			<-settled
+		}
+		s.queue.close()
+		s.logf("drain: complete (%d execution(s) run)", s.finished.Load())
+	})
+}
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+func shortKey(key string) string {
+	if len(key) > 12 {
+		return key[:12]
+	}
+	return key
+}

@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"guidedta/internal/mc"
+)
+
+// handleEvents streams a job's live progress as server-sent events: one
+// `snapshot` event per engine progress sample (states/sec, waiting, store
+// bytes, depth — the mc.Snapshot JSON), then a single `done` event with
+// the full job record. Subscribing to a settled job yields the `done`
+// event immediately; slow consumers drop intermediate snapshots rather
+// than stall the search's sampler.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		httpError(w, &admissionError{http.StatusNotFound, "no such job"})
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, &admissionError{http.StatusNotImplemented, "streaming unsupported"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	ex := job.exec
+	if ex == nil {
+		// Cache hit: no live execution, just the settled record.
+		writeEvent(w, flusher, "done", jobJSON(job))
+		return
+	}
+	ch := ex.subscribe()
+	defer ex.unsubscribe(ch)
+	for {
+		select {
+		case snap := <-ch:
+			writeEvent(w, flusher, "snapshot", snapshotJSON(snap))
+		case <-ex.done:
+			// Drain any sampled-but-unread snapshots, then close out.
+			for {
+				select {
+				case snap := <-ch:
+					writeEvent(w, flusher, "snapshot", snapshotJSON(snap))
+					continue
+				default:
+				}
+				break
+			}
+			writeEvent(w, flusher, "done", jobJSON(job))
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// SnapshotJSON is the wire form of one progress sample.
+type SnapshotJSON struct {
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	StatesExplored int     `json:"states_explored"`
+	StatesPerSec   float64 `json:"states_per_sec"`
+	Transitions    int     `json:"transitions"`
+	Waiting        int     `json:"waiting"`
+	PeakWaiting    int     `json:"peak_waiting"`
+	StatesStored   int     `json:"states_stored"`
+	StoreBytes     int64   `json:"store_bytes"`
+	MemBytes       int64   `json:"mem_bytes"`
+	MaxDepth       int     `json:"max_depth"`
+	Deadends       int     `json:"deadends"`
+	Steals         int64   `json:"steals,omitempty"`
+	Final          bool    `json:"final,omitempty"`
+}
+
+func snapshotJSON(s mc.Snapshot) SnapshotJSON {
+	return SnapshotJSON{
+		ElapsedSeconds: s.Elapsed.Seconds(),
+		StatesExplored: s.StatesExplored,
+		StatesPerSec:   s.StatesPerSec,
+		Transitions:    s.Transitions,
+		Waiting:        s.Waiting,
+		PeakWaiting:    s.PeakWaiting,
+		StatesStored:   s.StatesStored,
+		StoreBytes:     s.StoreBytes,
+		MemBytes:       s.MemBytes,
+		MaxDepth:       s.MaxDepth,
+		Deadends:       s.Deadends,
+		Steals:         s.Steals,
+		Final:          s.Final,
+	}
+}
+
+// writeEvent emits one SSE frame and flushes it.
+func writeEvent(w http.ResponseWriter, flusher http.Flusher, event string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		data = []byte(fmt.Sprintf(`{"error": %q}`, err.Error()))
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+	flusher.Flush()
+}

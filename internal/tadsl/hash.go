@@ -1,0 +1,22 @@
+package tadsl
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+
+	"guidedta/internal/mc"
+	"guidedta/internal/ta"
+)
+
+// Hash returns the content identity of a model: the hex sha256 digest of
+// its canonical tadsl serialization (Write), covering the system and, when
+// given, the query. Two models hash equal exactly when they serialize
+// identically, so the digest is a stable cache and comparison key: the run
+// reports of cmd/ tools and the serve result cache both use it.
+func Hash(sys *ta.System, goal *mc.Goal) (string, error) {
+	h := sha256.New()
+	if err := Write(h, sys, goal); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
