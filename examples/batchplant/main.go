@@ -50,7 +50,7 @@ func main() {
 	}
 
 	fmt.Printf("\nexecuting in the simulated plant (loss %.0f%%)...\n", *loss*100)
-	rep, err := res.Simulate(sim.Config{LossProb: *loss, Seed: 7, ContinuitySlack: 6})
+	rep, err := res.Simulate(sim.Config{LossProb: *loss, Seed: 7, ContinuitySlack: sim.Ptr(6)})
 	if err != nil {
 		log.Fatal(err)
 	}

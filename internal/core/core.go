@@ -51,6 +51,20 @@ func SynthesizeContext(ctx context.Context, cfg plant.Config, opts mc.Options, s
 	if err != nil {
 		return nil, err
 	}
+	if opts.Search == mc.BestTime && opts.TimeClock == 0 {
+		// Every plant model carries a never-reset global clock, and the
+		// horizon "deadline per batch plus slack" bounds any schedule worth
+		// having. Defaulting both here makes BestTime usable without plant
+		// internals leaking to every caller; explicit values win.
+		opts.TimeClock = p.GlobalClock
+		if opts.TimeHorizon == 0 {
+			params := cfg.Params
+			if params == (plant.Params{}) {
+				params = plant.DefaultParams()
+			}
+			opts.TimeHorizon = params.Deadline * int32(len(cfg.Qualities)+2)
+		}
+	}
 	if mc.PriorityOf(opts.Observer) == nil {
 		// The plant ships a search-order heuristic (explore deliveries
 		// before cast completions); callers may override it by passing an

@@ -89,3 +89,28 @@ func TestSynthesizeBadConfig(t *testing.T) {
 		t.Error("empty config accepted")
 	}
 }
+
+// BestTime without an explicit TimeClock must work out of the box: the
+// pipeline knows the plant's never-reset global clock and a sufficient
+// horizon, so callers should not need plant internals to pick the
+// min-time search (mcfuzz's plant sweep tripped over exactly this).
+func TestSynthesizeBestTimeDefaults(t *testing.T) {
+	cfg := plant.Config{
+		Qualities: []plant.Quality{plant.Q1},
+		Guides:    plant.AllGuides,
+	}
+	res, err := Synthesize(cfg, mc.DefaultOptions(mc.BestTime), synth.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Search.Found || len(res.Schedule.Lines) == 0 {
+		t.Fatalf("incomplete result: found=%v lines=%d", res.Search.Found, len(res.Schedule.Lines))
+	}
+	rep, err := res.Simulate(sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK(1) {
+		t.Fatalf("simulation violations: %v", rep.Violations)
+	}
+}

@@ -119,7 +119,23 @@ type parser struct {
 	pos   int
 	tok   token
 	table *Table
+	depth int
 }
+
+// maxParseDepth bounds expression nesting. A Go stack overflow is fatal
+// and unrecoverable, so without this cap a single hostile "((((…" or
+// "----…" chain in a submitted model could take down the whole process.
+const maxParseDepth = 200
+
+func (p *parser) enter() error {
+	p.depth++
+	if p.depth > maxParseDepth {
+		return p.errf("expression nests deeper than %d", maxParseDepth)
+	}
+	return nil
+}
+
+func (p *parser) leave() { p.depth-- }
 
 func (p *parser) errf(format string, args ...any) error {
 	return fmt.Errorf("expr: parse %q at offset %d: %s", p.src, p.tok.pos, fmt.Sprintf(format, args...))
@@ -233,6 +249,10 @@ func (p *parser) assign() (Assign, error) {
 }
 
 func (p *parser) cond() (Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	c, err := p.or()
 	if err != nil {
 		return nil, err
@@ -356,6 +376,10 @@ func (p *parser) term() (Expr, error) {
 }
 
 func (p *parser) unary() (Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	if p.tok.kind == tkOp && (p.tok.text == "!" || p.tok.text == "-") {
 		op := OpNot
 		if p.tok.text == "-" {

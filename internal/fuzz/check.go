@@ -1,0 +1,264 @@
+package fuzz
+
+import (
+	"fmt"
+	"math/rand"
+
+	"guidedta/internal/mc"
+	"guidedta/internal/ta"
+)
+
+// ExploreFunc is the engine entry point the harness drives. Production use
+// passes mc.Explore; the self-test injects a deliberately broken wrapper
+// and asserts the harness catches and shrinks it.
+type ExploreFunc func(sys *ta.System, goal mc.Goal, opts mc.Options) (mc.Result, error)
+
+// Config is one named engine configuration of the cross-check matrix.
+type Config struct {
+	Name string
+	Opts mc.Options
+	// Exact configurations must agree with each other on the verdict;
+	// non-exact ones (bit-state hashing) are under-approximations that may
+	// miss goals but must never invent them.
+	Exact bool
+}
+
+// Configs returns the cross-check matrix: a curated sweep of the exact
+// engine configurations — search order × inclusion × compact store ×
+// extrapolation flavor × active clocks × parallelism — plus the BestTime
+// order (exact; timeClock names the generator's never-reset global clock)
+// and the two bit-state under-approximations. maxStates bounds every
+// search so a generator miss cannot hang a campaign.
+func Configs(maxStates, timeClock int) []Config {
+	mk := func(name string, exact bool, tweak func(*mc.Options)) Config {
+		o := mc.DefaultOptions(mc.BFS)
+		o.MaxStates = maxStates
+		tweak(&o)
+		return Config{Name: name, Opts: o, Exact: exact}
+	}
+	cfgs := []Config{
+		mk("bfs", true, func(o *mc.Options) {}),
+		mk("dfs", true, func(o *mc.Options) { o.Search = mc.DFS }),
+		mk("bfs-noincl", true, func(o *mc.Options) { o.Inclusion = false }),
+		mk("dfs-noincl", true, func(o *mc.Options) { o.Search = mc.DFS; o.Inclusion = false }),
+		mk("bfs-compact", true, func(o *mc.Options) { o.Compact = true }),
+		mk("dfs-compact", true, func(o *mc.Options) { o.Search = mc.DFS; o.Compact = true }),
+		mk("bfs-classic", true, func(o *mc.Options) { o.ClassicExtrapolation = true }),
+		mk("dfs-classic", true, func(o *mc.Options) { o.Search = mc.DFS; o.ClassicExtrapolation = true }),
+		mk("bfs-noactive", true, func(o *mc.Options) { o.ActiveClocks = false }),
+		mk("bfs-par4", true, func(o *mc.Options) { o.Workers = 4 }),
+		mk("dfs-par4", true, func(o *mc.Options) { o.Search = mc.DFS; o.Workers = 4 }),
+		mk("bfs-compact-par4", true, func(o *mc.Options) { o.Compact = true; o.Workers = 4 }),
+		mk("dfs-compact-noincl", true, func(o *mc.Options) {
+			o.Search = mc.DFS
+			o.Compact = true
+			o.Inclusion = false
+		}),
+		mk("bsh", false, func(o *mc.Options) { o.Search = mc.BSH }),
+		mk("bsh-coarse", false, func(o *mc.Options) { o.Search = mc.BSH; o.CoarseHash = true }),
+	}
+	if timeClock > 0 {
+		cfgs = append(cfgs, mk("besttime", true, func(o *mc.Options) {
+			o.Search = mc.BestTime
+			o.TimeClock = timeClock
+			o.TimeHorizon = 256
+		}))
+	}
+	return cfgs
+}
+
+// Problem is one contract violation found by the harness, carrying enough
+// context to reproduce it: the case seed, the offending configuration, and
+// the (possibly shrunk) spec.
+type Problem struct {
+	Kind   string // "divergence", "underapprox", "trace", "error", "abort"
+	Case   int
+	Config string
+	Detail string
+	Spec   *Spec
+}
+
+func (p *Problem) String() string {
+	return fmt.Sprintf("case %d [%s] %s: %s", p.Case, p.Config, p.Kind, p.Detail)
+}
+
+// Harness cross-checks engine configurations against each other on
+// generated or corpus specs.
+type Harness struct {
+	// Explore is the engine under test; nil means mc.Explore.
+	Explore ExploreFunc
+	// MaxStates bounds each individual search (default 100_000).
+	MaxStates int
+	// Gen bounds the generator; the zero value means DefaultGenConfig.
+	Gen GenConfig
+}
+
+func (h *Harness) explore() ExploreFunc {
+	if h.Explore != nil {
+		return h.Explore
+	}
+	return mc.Explore
+}
+
+func (h *Harness) maxStates() int {
+	if h.MaxStates > 0 {
+		return h.MaxStates
+	}
+	return 100_000
+}
+
+func (h *Harness) gen() GenConfig {
+	if h.Gen == (GenConfig{}) {
+		return DefaultGenConfig()
+	}
+	return h.Gen
+}
+
+// CheckSpec runs the full configuration matrix on one spec and returns
+// every contract violation.
+func (h *Harness) CheckSpec(caseNo int, spec *Spec) []*Problem {
+	sys, goal, err := spec.Build()
+	if err != nil {
+		return []*Problem{{Kind: "error", Case: caseNo, Detail: err.Error(), Spec: spec}}
+	}
+	problems := h.CheckModel(caseNo, sys, goal)
+	for _, p := range problems {
+		p.Spec = spec
+	}
+	return problems
+}
+
+// CheckModel runs the full configuration matrix on a built system — the
+// entry point for corpus .gta files, which arrive as models rather than
+// specs. A search abort (state limit) disables verdict comparison for the
+// case — there is nothing sound to compare — and is reported as an
+// "abort" problem only for exact configs, since inputs are expected to
+// stay within budget. The BestTime configuration joins the matrix when
+// the model has the generator's never-reset global clock "gt".
+func (h *Harness) CheckModel(caseNo int, sys *ta.System, goal mc.Goal) []*Problem {
+	timeClock := 0
+	if i, ok := sys.ClockIndex("gt"); ok {
+		timeClock = i
+	}
+	var problems []*Problem
+	var exactVerdict *bool
+	var exactName string
+	for _, cfg := range Configs(h.maxStates(), timeClock) {
+		res, err := h.explore()(sys, goal, cfg.Opts)
+		if err != nil {
+			problems = append(problems, &Problem{
+				Kind: "error", Case: caseNo, Config: cfg.Name,
+				Detail: err.Error(),
+			})
+			continue
+		}
+		if res.Abort != mc.AbortNone {
+			if cfg.Exact {
+				problems = append(problems, &Problem{
+					Kind: "abort", Case: caseNo, Config: cfg.Name,
+					Detail: fmt.Sprintf("aborted: %s after %d states", res.Abort, res.Stats.StatesExplored),
+				})
+			}
+			continue
+		}
+		if cfg.Exact {
+			if exactVerdict == nil {
+				v := res.Found
+				exactVerdict = &v
+				exactName = cfg.Name
+			} else if res.Found != *exactVerdict {
+				problems = append(problems, &Problem{
+					Kind: "divergence", Case: caseNo, Config: cfg.Name,
+					Detail: fmt.Sprintf("found=%v but %s found=%v", res.Found, exactName, *exactVerdict),
+				})
+			}
+		} else if res.Found && exactVerdict != nil && !*exactVerdict {
+			problems = append(problems, &Problem{
+				Kind: "underapprox", Case: caseNo, Config: cfg.Name,
+				Detail: "under-approximation found a goal the exact search rejects",
+			})
+		}
+		if res.Found {
+			if err := CheckTrace(sys, goal, res.Trace); err != nil {
+				problems = append(problems, &Problem{
+					Kind: "trace", Case: caseNo, Config: cfg.Name,
+					Detail: err.Error(),
+				})
+			}
+		}
+	}
+	return problems
+}
+
+// CheckTrace is the witness-trace contract, chained through the engine's
+// independent checkers: the trace must replay discretely, end in a state
+// satisfying the goal, concretize to absolute firing times, pass the
+// timing validator, and — the urgency audit — never schedule a positive
+// delay out of a state that forbids delay.
+func CheckTrace(sys *ta.System, goal mc.Goal, trace []mc.Transition) error {
+	locsAt, envAt, err := mc.ReplayDiscrete(sys, trace)
+	if err != nil {
+		return fmt.Errorf("replay: %w", err)
+	}
+	last := len(locsAt) - 1
+	if !goal.Deadlock && !goal.Satisfied(locsAt[last], envAt[last]) {
+		return fmt.Errorf("replay: final state does not satisfy the goal")
+	}
+	// ConcretizeFine rather than Concretize: generated models use strict
+	// guards freely, and chains of strict bounds legitimately need a grid
+	// finer than half units.
+	steps, denom, err := mc.ConcretizeFine(sys, trace)
+	if err != nil {
+		return fmt.Errorf("concretize: %w", err)
+	}
+	if err := mc.ValidateConcreteAt(sys, steps, denom); err != nil {
+		return fmt.Errorf("validate: %w", err)
+	}
+	prev := int64(0)
+	for i, st := range steps {
+		if st.Time < prev {
+			return fmt.Errorf("concretize: time regresses at step %d (%s < %s)",
+				i, mc.TimeStringAt(st.Time, denom), mc.TimeStringAt(prev, denom))
+		}
+		if mc.NoDelayAt(sys, locsAt[i], envAt[i]) && st.Time != prev {
+			return fmt.Errorf("urgency: step %d fires at %s but its source state forbids delay since %s",
+				i, mc.TimeStringAt(st.Time, denom), mc.TimeStringAt(prev, denom))
+		}
+		prev = st.Time
+	}
+	return nil
+}
+
+// Run generates and checks `cases` specs from the given seed, shrinking
+// every failing input to a minimal spec before reporting it. Campaigns are
+// deterministic per seed.
+func (h *Harness) Run(seed int64, cases int, progress func(done int)) []*Problem {
+	rng := rand.New(rand.NewSource(seed))
+	var problems []*Problem
+	for i := 0; i < cases; i++ {
+		spec := Generate(rng, h.gen())
+		ps := h.CheckSpec(i, spec)
+		for _, p := range ps {
+			p.Spec = h.ShrinkProblem(p)
+		}
+		problems = append(problems, ps...)
+		if progress != nil {
+			progress(i + 1)
+		}
+	}
+	return problems
+}
+
+// ShrinkProblem minimizes the spec of a problem: a candidate reproduces
+// when checking it yields a problem of the same kind (in any
+// configuration — shrinking may legitimately move which config trips).
+func (h *Harness) ShrinkProblem(p *Problem) *Spec {
+	return Shrink(p.Spec, func(s *Spec) bool {
+		for _, q := range h.CheckSpec(p.Case, s) {
+			if q.Kind == p.Kind {
+				return true
+			}
+		}
+		return false
+	})
+}

@@ -1,0 +1,180 @@
+package fuzz
+
+import (
+	"fmt"
+	"math/rand"
+
+	"guidedta/internal/mc"
+	"guidedta/internal/ta"
+)
+
+// GenConfig bounds the random model generator. The defaults keep cases
+// small enough that the full configuration matrix explores each one in
+// milliseconds while still covering clocks, integer state, binary and
+// urgent channels, urgent and committed locations, and location/expr
+// goals.
+type GenConfig struct {
+	MaxAutomata int // 2..MaxAutomata automata
+	MaxLocs     int // 2..MaxLocs locations per automaton
+	MaxClocks   int // local clocks beyond the global one ("gt")
+	MaxChans    int // 0..MaxChans channels
+	MaxConst    int32
+}
+
+// DefaultGenConfig returns the bounds used by cmd/mcfuzz and the package
+// tests.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{MaxAutomata: 3, MaxLocs: 4, MaxClocks: 2, MaxChans: 2, MaxConst: 6}
+}
+
+// intGuardPool and assignPool are the discrete-state building blocks. They
+// reference only the declared variables v, w and the constant N, always
+// stay within the variables' small ranges, and never divide — runtime
+// evaluation faults are a separate, deliberate test (see the mc package's
+// RuntimeError tests), not fuzz noise.
+var intGuardPool = []string{
+	"v == 2", "v < 3", "v >= 1", "w == 0", "w >= 1",
+	"v + w <= 4", "(v + w) % 2 == 0", "v != w", "v < N",
+}
+
+var assignPool = []string{
+	"v := (v + 1) % 4", "w := (w + 1) % 3", "v := 0",
+	"w := (w + v) % 3", "v := (v + 2) % 4",
+}
+
+// Generate draws one random-but-valid spec. The same rng state always
+// yields the same spec, so campaigns reproduce from their seed. Structural
+// validity is by construction: clock 0 ("gt") is global time and never
+// reset (the BestTime configuration designates it as the time clock), and
+// urgent-channel edges carry no clock guards (ta.Validate rejects them).
+func Generate(rng *rand.Rand, cfg GenConfig) *Spec {
+	s := &Spec{
+		Name:   "fuzzcase",
+		Consts: []ConstDecl{{Name: "N", Value: 2 + rng.Int31n(3)}},
+		Vars:   []VarDecl{{Name: "v", Init: 0}, {Name: "w", Init: 0}},
+		Clocks: []string{"gt"},
+	}
+	nClocks := 1 + rng.Intn(cfg.MaxClocks)
+	for i := 0; i < nClocks; i++ {
+		s.Clocks = append(s.Clocks, string(rune('x'+i)))
+	}
+	nChans := rng.Intn(cfg.MaxChans + 1)
+	for i := 0; i < nChans; i++ {
+		s.Chans = append(s.Chans, ChanDecl{
+			Name:   fmt.Sprintf("c%d", i),
+			Urgent: rng.Intn(4) == 0,
+		})
+	}
+
+	nAutos := 2 + rng.Intn(cfg.MaxAutomata-1)
+	for ai := 0; ai < nAutos; ai++ {
+		s.Automata = append(s.Automata, genAutomaton(rng, cfg, s, ai))
+	}
+	// Make every channel usable: automaton 0 gets a sender, automaton 1 a
+	// receiver (on top of whatever random syncs the edges drew), so syncs
+	// actually fire instead of generating only dead edges.
+	for ci := range s.Chans {
+		ensureSync(rng, s, 0, ci, ta.Send)
+		ensureSync(rng, s, 1, ci, ta.Recv)
+	}
+
+	// Goal: a random location of a random automaton, sometimes conjoined
+	// with a discrete-state predicate. Deadlock goals are not generated —
+	// the cross-check contract is about reachability agreement, and corpus
+	// files cover the deadlock query path.
+	ga := rng.Intn(nAutos)
+	gloc := len(s.Automata[ga].Locs) - 1 // chain end: forces a real trace
+	if rng.Intn(4) == 0 {
+		gloc = 1 + rng.Intn(len(s.Automata[ga].Locs)-1)
+	}
+	s.Goal.Locs = []mc.LocRequirement{{Automaton: ga, Location: gloc}}
+	if rng.Intn(3) == 0 {
+		s.Goal.Expr = intGuardPool[rng.Intn(len(intGuardPool))]
+	}
+	return s
+}
+
+func genAutomaton(rng *rand.Rand, cfg GenConfig, s *Spec, ai int) AutoSpec {
+	a := AutoSpec{Name: string(rune('A' + ai))}
+	nLocs := 2 + rng.Intn(cfg.MaxLocs-1)
+	for li := 0; li < nLocs; li++ {
+		l := LocSpec{Name: fmt.Sprintf("l%d", li), Kind: ta.Normal}
+		// Urgency is rare but present: it is exactly the semantics the
+		// concretizer historically got wrong.
+		switch rng.Intn(10) {
+		case 0:
+			l.Kind = ta.Urgent
+		case 1:
+			if li != 0 {
+				l.Kind = ta.Committed
+			}
+		}
+		if l.Kind == ta.Normal && rng.Intn(3) == 0 {
+			l.Inv = []Constraint{{
+				Clock: 1 + rng.Intn(len(s.Clocks)-1),
+				Op:    OpLE,
+				Value: 2 + rng.Int31n(cfg.MaxConst-1),
+			}}
+		}
+		a.Locs = append(a.Locs, l)
+	}
+	// A forward chain l0 → l1 → … → l(n-1) first, then random extra
+	// edges: without the chain bias most goals sit one step from the
+	// initial state and every witness trace is trivially short, which
+	// starves the replay/concretize contract of anything to check.
+	nEdges := (nLocs - 1) + 1 + rng.Intn(nLocs+1)
+	for ei := 0; ei < nEdges; ei++ {
+		e := EdgeSpec{
+			Src:  rng.Intn(nLocs),
+			Dst:  rng.Intn(nLocs),
+			Chan: -1,
+		}
+		if ei < nLocs-1 {
+			e.Src, e.Dst = ei, ei+1
+		}
+		if len(s.Chans) > 0 && rng.Intn(4) == 0 {
+			e.Chan = rng.Intn(len(s.Chans))
+			e.Dir = ta.Send
+			if rng.Intn(2) == 0 {
+				e.Dir = ta.Recv
+			}
+		}
+		urgentSync := e.Chan >= 0 && s.Chans[e.Chan].Urgent
+		if !urgentSync {
+			for len(e.Guard) < 2 && rng.Intn(2) == 0 {
+				e.Guard = append(e.Guard, Constraint{
+					Clock: rng.Intn(len(s.Clocks)),
+					Op:    Op(rng.Intn(4)),
+					Value: rng.Int31n(cfg.MaxConst + 1),
+				})
+			}
+		}
+		if rng.Intn(3) == 0 {
+			e.IntGuard = intGuardPool[rng.Intn(len(intGuardPool))]
+		}
+		if rng.Intn(3) == 0 {
+			e.Assign = assignPool[rng.Intn(len(assignPool))]
+		}
+		if len(s.Clocks) > 1 && rng.Intn(3) == 0 {
+			// Clock 0 is global time and stays monotone.
+			e.Resets = []int{1 + rng.Intn(len(s.Clocks)-1)}
+		}
+		a.Edges = append(a.Edges, e)
+	}
+	return a
+}
+
+// ensureSync guarantees automaton ai has an edge with the given direction
+// on channel ci, appending a fresh one when the random draw produced none.
+func ensureSync(rng *rand.Rand, s *Spec, ai, ci int, dir ta.SyncDir) {
+	a := &s.Automata[ai]
+	for _, e := range a.Edges {
+		if e.Chan == ci && e.Dir == dir {
+			return
+		}
+	}
+	n := len(a.Locs)
+	a.Edges = append(a.Edges, EdgeSpec{
+		Src: rng.Intn(n), Dst: rng.Intn(n), Chan: ci, Dir: dir,
+	})
+}

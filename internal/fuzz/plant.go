@@ -1,0 +1,165 @@
+package fuzz
+
+import (
+	"fmt"
+
+	"guidedta/internal/core"
+	"guidedta/internal/mc"
+	"guidedta/internal/plant"
+	"guidedta/internal/sim"
+	"guidedta/internal/synth"
+)
+
+// PlantCase is one end-to-end synthesis-and-simulation scenario: a plant
+// configuration pushed through synth → rcx → sim under a link and timing
+// regime. Nominal cases (perfect link, matching timing) must simulate
+// clean; stressed cases (loss, slow plant without re-synthesis) must
+// degrade without crashing, and the battery-worn case must recover once
+// the program is re-synthesized against the measured timing — the paper's
+// Section 6 loop.
+type PlantCase struct {
+	Name    string
+	Guides  plant.GuideLevel
+	Batches int
+	// LossProb and CommDelay stress the IR link; Worn runs the plant on
+	// battery-worn (slower) timing, and Resynth re-synthesizes against it.
+	LossProb  float64
+	CommDelay int
+	Worn      bool
+	Resynth   bool
+	// Synth tunes code generation (poll cadence, retransmit threshold);
+	// the zero value means synth's defaults.
+	Synth synth.Options
+	// Strict marks cases whose simulation must be violation-free.
+	Strict bool
+}
+
+// PlantCases is the standard sweep cmd/mcfuzz and the package test run:
+// guide levels × batch counts × link/timing regimes.
+func PlantCases() []PlantCase {
+	var cases []PlantCase
+	for _, g := range []plant.GuideLevel{plant.SomeGuides, plant.AllGuides} {
+		for _, n := range []int{1, 2} {
+			cases = append(cases, PlantCase{
+				Name:    fmt.Sprintf("nominal/%s/%d", g, n),
+				Guides:  g,
+				Batches: n,
+				Strict:  true,
+			})
+		}
+	}
+	cases = append(cases,
+		PlantCase{
+			Name: "delay3/all/2", Guides: plant.AllGuides, Batches: 2,
+			CommDelay: 3, Strict: true,
+		},
+		PlantCase{
+			Name: "lossy/all/2", Guides: plant.AllGuides, Batches: 2,
+			LossProb: 0.05,
+		},
+		// Code-generation variants: a faster resend loop must stay clean on
+		// a perfect link and still recover the lossy one.
+		PlantCase{
+			Name: "fast-resend/all/2", Guides: plant.AllGuides, Batches: 2,
+			Synth:  synth.Options{AckPollTicks: 1, ResendAfter: 5},
+			Strict: true,
+		},
+		PlantCase{
+			Name: "lossy-fast-resend/all/2", Guides: plant.AllGuides, Batches: 2,
+			LossProb: 0.05,
+			Synth:    synth.Options{AckPollTicks: 1, ResendAfter: 5},
+		},
+		PlantCase{
+			Name: "worn-resynth/all/1", Guides: plant.AllGuides, Batches: 1,
+			Worn: true, Resynth: true, Strict: true,
+		},
+		PlantCase{
+			Name: "worn-stale/all/1", Guides: plant.AllGuides, Batches: 1,
+			Worn: true,
+		},
+	)
+	return cases
+}
+
+// wornParams models the battery wear of Section 6: every movement slower
+// than the timing the default program was synthesized against.
+func wornParams() plant.Params {
+	p := plant.DefaultParams()
+	p.CMove += 1
+	p.CUp += 1
+	p.CDown += 1
+	p.BMove += 1
+	return p
+}
+
+// CheckPlant runs one case end to end and returns a Problem on contract
+// violation. The verdicts are deterministic per seed.
+func CheckPlant(c PlantCase, seed int64, opts mc.Options) *Problem {
+	synthParams := plant.DefaultParams()
+	realParams := plant.DefaultParams()
+	if c.Worn {
+		realParams = wornParams()
+		if c.Resynth {
+			synthParams = realParams
+		}
+	}
+	cfg := plant.Config{
+		Qualities: plant.CycleQualities(c.Batches),
+		Guides:    c.Guides,
+		Params:    synthParams,
+	}
+	res, err := core.Synthesize(cfg, opts, c.Synth)
+	if err != nil {
+		return &Problem{Kind: "error", Config: c.Name, Detail: fmt.Sprintf("synthesize: %v", err)}
+	}
+	sc := sim.Config{
+		Params:   realParams,
+		LossProb: c.LossProb,
+		Seed:     seed,
+	}
+	if c.CommDelay > 0 {
+		sc.CommDelay = sim.Ptr(c.CommDelay)
+	}
+	if c.LossProb > 0 {
+		// Retries under loss drift the cast cadence; the continuity
+		// monitor needs the same tolerance the sim package's own lossy
+		// tests use.
+		sc.ContinuitySlack = sim.Ptr(6)
+	}
+	rep, err := res.Simulate(sc)
+	if err != nil {
+		return &Problem{Kind: "error", Config: c.Name, Detail: fmt.Sprintf("simulate: %v", err)}
+	}
+	if c.Strict && !rep.OK(c.Batches) {
+		return &Problem{
+			Kind:   "sim",
+			Config: c.Name,
+			Detail: fmt.Sprintf("stored=%d/%d violations=%v", rep.Stored, c.Batches, rep.Violations),
+		}
+	}
+	if c.Worn && !c.Resynth && len(rep.Violations) == 0 {
+		// The stale program on worn hardware is the paper's modeling-error
+		// scenario: a clean run here would mean the simulator stopped
+		// noticing timing drift at all.
+		return &Problem{
+			Kind:   "sim",
+			Config: c.Name,
+			Detail: "stale program ran clean on worn timing; the violation monitors are blind",
+		}
+	}
+	return nil
+}
+
+// RunPlantSweep checks every case of the standard sweep.
+func RunPlantSweep(seed int64, opts mc.Options, progress func(name string)) []*Problem {
+	var problems []*Problem
+	for _, c := range PlantCases() {
+		if progress != nil {
+			progress(c.Name)
+		}
+		if p := CheckPlant(c, seed, opts); p != nil {
+			problems = append(problems, p)
+		}
+	}
+	return problems
+}

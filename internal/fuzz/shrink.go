@@ -1,0 +1,296 @@
+package fuzz
+
+import "guidedta/internal/ta"
+
+// Shrink minimizes a failing spec: it repeatedly applies structural edits
+// — drop an automaton, an edge, a guard conjunct, an update, an invariant,
+// a location kind, an unused declaration, or lower a constant — keeping an
+// edit only when `failing` still holds, until a full pass makes no
+// progress. The result is the minimal .gta repro that lands in
+// testdata/corpus/. `failing` must be deterministic; every candidate is a
+// deep copy, so the callback may Build and explore freely.
+func Shrink(spec *Spec, failing func(*Spec) bool) *Spec {
+	cur := spec.Clone()
+	// Fixpoint with a generous pass budget; each accepted edit strictly
+	// reduces the spec, so termination does not depend on the budget.
+	for pass := 0; pass < 32; pass++ {
+		if !shrinkPass(&cur, failing) {
+			break
+		}
+	}
+	return cur
+}
+
+// shrinkPass tries every edit once against the current spec, accepting
+// those that keep the failure; it reports whether anything was accepted.
+func shrinkPass(cur **Spec, failing func(*Spec) bool) bool {
+	progress := false
+	try := func(edit func(*Spec) bool) {
+		cand := (*cur).Clone()
+		if !edit(cand) {
+			return
+		}
+		if failing(cand) {
+			*cur = cand
+			progress = true
+		}
+	}
+
+	// Drop whole automata (goal automata are kept; indices remap).
+	for ai := len((*cur).Automata) - 1; ai >= 0; ai-- {
+		ai := ai
+		try(func(s *Spec) bool { return dropAutomaton(s, ai) })
+	}
+	// Drop whole edges.
+	for ai := range (*cur).Automata {
+		for ei := len((*cur).Automata[ai].Edges) - 1; ei >= 0; ei-- {
+			ai, ei := ai, ei
+			try(func(s *Spec) bool {
+				a := &s.Automata[ai]
+				if ei >= len(a.Edges) {
+					return false
+				}
+				a.Edges = append(a.Edges[:ei], a.Edges[ei+1:]...)
+				return true
+			})
+		}
+	}
+	// Simplify edges: guard conjuncts, int guards, syncs, updates.
+	for ai := range (*cur).Automata {
+		for ei := range (*cur).Automata[ai].Edges {
+			ai, ei := ai, ei
+			e := &(*cur).Automata[ai].Edges[ei]
+			for gi := len(e.Guard) - 1; gi >= 0; gi-- {
+				gi := gi
+				try(func(s *Spec) bool {
+					g := &s.Automata[ai].Edges[ei].Guard
+					if gi >= len(*g) {
+						return false
+					}
+					*g = append((*g)[:gi], (*g)[gi+1:]...)
+					return true
+				})
+			}
+			if e.IntGuard != "" {
+				try(func(s *Spec) bool { s.Automata[ai].Edges[ei].IntGuard = ""; return true })
+			}
+			if e.Chan >= 0 {
+				try(func(s *Spec) bool {
+					s.Automata[ai].Edges[ei].Chan = -1
+					s.Automata[ai].Edges[ei].Dir = ta.NoSync
+					return true
+				})
+			}
+			if e.Assign != "" {
+				try(func(s *Spec) bool { s.Automata[ai].Edges[ei].Assign = ""; return true })
+			}
+			if len(e.Resets) > 0 {
+				try(func(s *Spec) bool { s.Automata[ai].Edges[ei].Resets = nil; return true })
+			}
+			// Lower guard constants toward zero (halving converges fast).
+			for gi := range e.Guard {
+				if v := e.Guard[gi].Value; v > 0 {
+					gi, v := gi, v
+					try(func(s *Spec) bool {
+						g := s.Automata[ai].Edges[ei].Guard
+						if gi >= len(g) {
+							return false
+						}
+						g[gi].Value = v / 2
+						return true
+					})
+				}
+			}
+		}
+	}
+	// Simplify locations: invariants and kinds.
+	for ai := range (*cur).Automata {
+		for li := range (*cur).Automata[ai].Locs {
+			ai, li := ai, li
+			l := &(*cur).Automata[ai].Locs[li]
+			if len(l.Inv) > 0 {
+				try(func(s *Spec) bool { s.Automata[ai].Locs[li].Inv = nil; return true })
+			}
+			if l.Kind != ta.Normal {
+				try(func(s *Spec) bool { s.Automata[ai].Locs[li].Kind = ta.Normal; return true })
+			}
+		}
+	}
+	// Drop the goal's expression atom.
+	if (*cur).Goal.Expr != "" {
+		try(func(s *Spec) bool { s.Goal.Expr = ""; return true })
+	}
+	// Drop unused declarations (channels, clocks, vars, consts): pure
+	// noise in a repro once nothing references them.
+	for ci := len((*cur).Chans) - 1; ci >= 0; ci-- {
+		ci := ci
+		try(func(s *Spec) bool { return dropChan(s, ci) })
+	}
+	for ki := len((*cur).Clocks) - 1; ki >= 0; ki-- {
+		ki := ki
+		try(func(s *Spec) bool { return dropClock(s, ki) })
+	}
+	try(dropUnusedVarsAndConsts)
+	return progress
+}
+
+// dropAutomaton removes automaton ai and remaps the goal's automaton
+// indices; it refuses when the goal references ai (the failure would
+// trivially vanish with its subject).
+func dropAutomaton(s *Spec, ai int) bool {
+	if len(s.Automata) <= 1 {
+		return false
+	}
+	for _, lr := range s.Goal.Locs {
+		if lr.Automaton == ai {
+			return false
+		}
+	}
+	s.Automata = append(s.Automata[:ai], s.Automata[ai+1:]...)
+	for i := range s.Goal.Locs {
+		if s.Goal.Locs[i].Automaton > ai {
+			s.Goal.Locs[i].Automaton--
+		}
+	}
+	return true
+}
+
+// dropChan removes channel ci when no edge syncs on it, remapping edge
+// channel indices.
+func dropChan(s *Spec, ci int) bool {
+	for _, a := range s.Automata {
+		for _, e := range a.Edges {
+			if e.Chan == ci {
+				return false
+			}
+		}
+	}
+	s.Chans = append(s.Chans[:ci], s.Chans[ci+1:]...)
+	for ai := range s.Automata {
+		for ei := range s.Automata[ai].Edges {
+			if s.Automata[ai].Edges[ei].Chan > ci {
+				s.Automata[ai].Edges[ei].Chan--
+			}
+		}
+	}
+	return true
+}
+
+// dropClock removes clock ki when no guard, invariant, or reset mentions
+// it, remapping the higher indices.
+func dropClock(s *Spec, ki int) bool {
+	if len(s.Clocks) <= 1 {
+		return false
+	}
+	for _, a := range s.Automata {
+		for _, l := range a.Locs {
+			for _, c := range l.Inv {
+				if c.Clock == ki {
+					return false
+				}
+			}
+		}
+		for _, e := range a.Edges {
+			for _, c := range e.Guard {
+				if c.Clock == ki {
+					return false
+				}
+			}
+			for _, r := range e.Resets {
+				if r == ki {
+					return false
+				}
+			}
+		}
+	}
+	s.Clocks = append(s.Clocks[:ki], s.Clocks[ki+1:]...)
+	remap := func(i int) int {
+		if i > ki {
+			return i - 1
+		}
+		return i
+	}
+	for ai := range s.Automata {
+		a := &s.Automata[ai]
+		for li := range a.Locs {
+			for vi := range a.Locs[li].Inv {
+				a.Locs[li].Inv[vi].Clock = remap(a.Locs[li].Inv[vi].Clock)
+			}
+		}
+		for ei := range a.Edges {
+			for gi := range a.Edges[ei].Guard {
+				a.Edges[ei].Guard[gi].Clock = remap(a.Edges[ei].Guard[gi].Clock)
+			}
+			for ri := range a.Edges[ei].Resets {
+				a.Edges[ei].Resets[ri] = remap(a.Edges[ei].Resets[ri])
+			}
+		}
+	}
+	return true
+}
+
+// dropUnusedVarsAndConsts removes declarations no expression source
+// mentions. Matching is textual over the spec's expression strings, which
+// is exact enough here: generated sources only use identifiers from the
+// fixed pools.
+func dropUnusedVarsAndConsts(s *Spec) bool {
+	used := map[string]bool{}
+	note := func(src string) {
+		for _, id := range exprIdents(src) {
+			used[id] = true
+		}
+	}
+	note(s.Goal.Expr)
+	for _, a := range s.Automata {
+		for _, e := range a.Edges {
+			note(e.IntGuard)
+			note(e.Assign)
+		}
+	}
+	changed := false
+	var vars []VarDecl
+	for _, v := range s.Vars {
+		if used[v.Name] {
+			vars = append(vars, v)
+		} else {
+			changed = true
+		}
+	}
+	var consts []ConstDecl
+	for _, c := range s.Consts {
+		if used[c.Name] {
+			consts = append(consts, c)
+		} else {
+			changed = true
+		}
+	}
+	if !changed {
+		return false
+	}
+	s.Vars, s.Consts = vars, consts
+	return true
+}
+
+// exprIdents extracts the identifiers of an expression source.
+func exprIdents(src string) []string {
+	var ids []string
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		if isAlpha(c) {
+			j := i
+			for j < len(src) && (isAlpha(src[j]) || src[j] >= '0' && src[j] <= '9') {
+				j++
+			}
+			ids = append(ids, src[i:j])
+			i = j
+			continue
+		}
+		i++
+	}
+	return ids
+}
+
+func isAlpha(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}

@@ -1,0 +1,271 @@
+// Package fuzz is the differential fuzzing and cross-check harness for
+// the synthesis pipeline. It generates random-but-valid bounded
+// timed-automata networks (Generate), runs every engine configuration on
+// them under a soundness contract (Harness), replays and concretizes
+// every witness trace through the independent checkers, and shrinks any
+// failing input to a minimal tadsl repro (Shrink) suitable for
+// testdata/corpus/.
+//
+// The soundness contract is the package's reason to exist: exact
+// configurations (BFS/DFS × inclusion × compact × extrapolation flavor ×
+// parallelism) must agree on the verdict, every reported trace must
+// replay discretely, satisfy the goal at its end, concretize to a
+// schedule that passes the independent timing checker, and never park
+// time inside an urgent state; the bit-state under-approximations may
+// only miss goals, never invent them.
+package fuzz
+
+import (
+	"fmt"
+	"strings"
+
+	"guidedta/internal/expr"
+	"guidedta/internal/mc"
+	"guidedta/internal/ta"
+	"guidedta/internal/tadsl"
+)
+
+// Op is a clock-comparison operator in a Constraint.
+type Op int
+
+// Constraint operators.
+const (
+	OpLE Op = iota
+	OpLT
+	OpGE
+	OpGT
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpLE:
+		return "<="
+	case OpLT:
+		return "<"
+	case OpGE:
+		return ">="
+	case OpGT:
+		return ">"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Constraint is one atomic clock bound: Clocks[Clock] Op Value.
+type Constraint struct {
+	Clock int // index into Spec.Clocks
+	Op    Op
+	Value int32
+}
+
+// ConstDecl declares one named constant.
+type ConstDecl struct {
+	Name  string
+	Value int32
+}
+
+// VarDecl declares one bounded integer variable with its initial value.
+type VarDecl struct {
+	Name string
+	Init int32
+}
+
+// ChanDecl declares one binary synchronization channel.
+type ChanDecl struct {
+	Name   string
+	Urgent bool
+}
+
+// LocSpec is one location of an automaton.
+type LocSpec struct {
+	Name string
+	Kind ta.LocationKind
+	Inv  []Constraint // upper bounds only (ta.Validate enforces)
+}
+
+// EdgeSpec is one edge. Chan is an index into Spec.Chans or -1 for an
+// internal transition; Guard atoms on urgent-channel edges are rejected by
+// ta.Validate, so the generator never emits them and shrinking never
+// introduces them.
+type EdgeSpec struct {
+	Src, Dst int
+	Guard    []Constraint
+	IntGuard string // expr source, "" means true
+	Chan     int
+	Dir      ta.SyncDir
+	Assign   string // assign-list source, "" means none
+	Resets   []int  // clock indices to reset to 0
+}
+
+// AutoSpec is one automaton of the network.
+type AutoSpec struct {
+	Name  string
+	Init  int
+	Locs  []LocSpec
+	Edges []EdgeSpec
+}
+
+// GoalSpec is the reachability query.
+type GoalSpec struct {
+	Locs     []mc.LocRequirement
+	Expr     string // expr source, "" means true
+	Deadlock bool
+}
+
+// Spec is the generator's intermediate representation of one fuzz case: a
+// plain, deep-copyable value that Build turns into a frozen ta.System and
+// mc.Goal, and that Shrink edits structurally. Keeping the IR separate
+// from ta.System makes shrinking trivial (drop a slice element, rebuild)
+// and lets Build absorb the builder layer's panics into errors.
+type Spec struct {
+	Name     string
+	Consts   []ConstDecl
+	Vars     []VarDecl
+	Clocks   []string
+	Chans    []ChanDecl
+	Automata []AutoSpec
+	Goal     GoalSpec
+}
+
+// Clone returns a deep copy, so shrink candidates never share slices with
+// the original.
+func (s *Spec) Clone() *Spec {
+	c := *s
+	c.Consts = append([]ConstDecl(nil), s.Consts...)
+	c.Vars = append([]VarDecl(nil), s.Vars...)
+	c.Clocks = append([]string(nil), s.Clocks...)
+	c.Chans = append([]ChanDecl(nil), s.Chans...)
+	c.Automata = make([]AutoSpec, len(s.Automata))
+	for i, a := range s.Automata {
+		ca := a
+		ca.Locs = make([]LocSpec, len(a.Locs))
+		for j, l := range a.Locs {
+			cl := l
+			cl.Inv = append([]Constraint(nil), l.Inv...)
+			ca.Locs[j] = cl
+		}
+		ca.Edges = make([]EdgeSpec, len(a.Edges))
+		for j, e := range a.Edges {
+			ce := e
+			ce.Guard = append([]Constraint(nil), e.Guard...)
+			ce.Resets = append([]int(nil), e.Resets...)
+			ca.Edges[j] = ce
+		}
+		c.Automata[i] = ca
+	}
+	c.Goal.Locs = append([]mc.LocRequirement(nil), s.Goal.Locs...)
+	return &c
+}
+
+// Build turns the spec into a frozen system and goal. The ta builder and
+// the expr parser report misuse by panicking — appropriate for hand-built
+// models, hostile for machine-generated ones — so Build recovers any
+// panic into an error; a Spec that does not build is a generator or
+// shrinker bug, never a crash.
+func (s *Spec) Build() (sys *ta.System, goal mc.Goal, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("fuzz: building spec %q: %v", s.Name, r)
+		}
+	}()
+	sys = ta.NewSystem(s.Name)
+	for _, c := range s.Consts {
+		sys.Table.DefineConst(c.Name, c.Value)
+	}
+	for _, v := range s.Vars {
+		sys.Table.DeclareVar(v.Name, v.Init)
+	}
+	clockIdx := make([]int, len(s.Clocks))
+	for i, name := range s.Clocks {
+		clockIdx[i] = sys.AddClock(name)
+	}
+	for _, ch := range s.Chans {
+		sys.AddChannel(ch.Name, ch.Urgent)
+	}
+	cons := func(cs []Constraint) []ta.ClockConstraint {
+		out := make([]ta.ClockConstraint, 0, len(cs))
+		for _, c := range cs {
+			ci := clockIdx[c.Clock]
+			switch c.Op {
+			case OpLE:
+				out = append(out, ta.LE(ci, c.Value))
+			case OpLT:
+				out = append(out, ta.LT(ci, c.Value))
+			case OpGE:
+				out = append(out, ta.GE(ci, c.Value))
+			case OpGT:
+				out = append(out, ta.GT(ci, c.Value))
+			}
+		}
+		return out
+	}
+	for _, as := range s.Automata {
+		a := sys.AddAutomaton(as.Name)
+		for _, l := range as.Locs {
+			li := a.AddLocation(l.Name, l.Kind)
+			if len(l.Inv) > 0 {
+				a.SetInvariant(li, cons(l.Inv)...)
+			}
+		}
+		a.SetInit(as.Init)
+		for _, e := range as.Edges {
+			b := a.Edge(e.Src, e.Dst)
+			if len(e.Guard) > 0 {
+				b.When(cons(e.Guard)...)
+			}
+			if e.IntGuard != "" {
+				b.Guard(e.IntGuard)
+			}
+			if e.Chan >= 0 {
+				b.Sync(s.Chans[e.Chan].Name, e.Dir)
+			}
+			if e.Assign != "" {
+				b.Assign(e.Assign)
+			}
+			for _, r := range e.Resets {
+				b.Reset(clockIdx[r])
+			}
+			b.Done()
+		}
+	}
+	goal = mc.Goal{
+		Desc:     "fuzz goal",
+		Locs:     append([]mc.LocRequirement(nil), s.Goal.Locs...),
+		Deadlock: s.Goal.Deadlock,
+	}
+	if s.Goal.Expr != "" {
+		e, perr := expr.Parse(s.Goal.Expr, sys.Table)
+		if perr != nil {
+			return nil, mc.Goal{}, fmt.Errorf("fuzz: goal expr: %w", perr)
+		}
+		goal.Expr = e
+	}
+	if err := sys.Freeze(); err != nil {
+		return nil, mc.Goal{}, err
+	}
+	return sys, goal, nil
+}
+
+// Source renders the spec as tadsl text — the durable repro format that
+// testdata/corpus/ stores and that mcserved accepts verbatim.
+func (s *Spec) Source() (string, error) {
+	sys, goal, err := s.Build()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	if err := tadsl.Write(&b, sys, &goal); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+// SourceLines counts the lines of the spec's tadsl form; Shrink minimizes
+// it and the acceptance bar for corpus repros is stated in lines.
+func (s *Spec) SourceLines() int {
+	src, err := s.Source()
+	if err != nil {
+		return -1
+	}
+	return len(strings.Split(strings.TrimRight(src, "\n"), "\n"))
+}

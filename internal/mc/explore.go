@@ -2,9 +2,11 @@ package mc
 
 import (
 	"context"
+	"fmt"
 	"sort"
 	"time"
 
+	"guidedta/internal/expr"
 	"guidedta/internal/ta"
 )
 
@@ -30,11 +32,26 @@ func Explore(sys *ta.System, goal Goal, opts Options) (Result, error) {
 // Observer is configured it receives per-state events, periodic Snapshots
 // (Options.SnapshotEvery), and — on every non-error return — a final Done
 // call with the Result.
-func ExploreContext(ctx context.Context, sys *ta.System, goal Goal, opts Options) (Result, error) {
+func ExploreContext(ctx context.Context, sys *ta.System, goal Goal, opts Options) (res Result, err error) {
+	// Expression evaluation inside the search panics with *expr.RuntimeError
+	// on model-level faults (division by zero, array index out of range).
+	// Those are properties of the submitted model, not of the engine: turn
+	// them into an error so a hostile model cannot take down a server
+	// embedding the checker. Any other panic is a genuine engine bug and
+	// propagates. The parallel search does the same per worker.
+	defer func() {
+		if r := recover(); r != nil {
+			re, ok := r.(*expr.RuntimeError)
+			if !ok {
+				panic(r)
+			}
+			err = fmt.Errorf("mc: evaluating model expression: %w", re)
+		}
+	}()
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	opts, err := opts.normalize()
+	opts, err = opts.normalize()
 	if err != nil {
 		return Result{}, err
 	}
@@ -49,7 +66,6 @@ func ExploreContext(ctx context.Context, sys *ta.System, goal Goal, opts Options
 	}
 	// normalize has already rejected unknown orders and a BestTime search
 	// without its time clock, so only the sequential/parallel split remains.
-	var res Result
 	if opts.Workers > 1 && (opts.Search == BFS || opts.Search == DFS) {
 		res, err = exploreParallel(en, goal)
 	} else {

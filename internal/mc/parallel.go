@@ -1,11 +1,14 @@
 package mc
 
 import (
+	"fmt"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"guidedta/internal/expr"
 )
 
 // exploreParallel is the work-stealing parallel variant of exploreSeq for
@@ -67,10 +70,35 @@ func exploreParallel(en *engine, goal Goal) (Result, error) {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
+			// A goroutine panic cannot be recovered by the caller, so
+			// each worker converts model-level *expr.RuntimeError panics
+			// itself (mirroring ExploreContext's deferred recover for the
+			// sequential path) and stops the search; the error surfaces
+			// after the join below. Engine bugs still crash.
+			defer func() {
+				if r := recover(); r != nil {
+					re, ok := r.(*expr.RuntimeError)
+					if !ok {
+						panic(r)
+					}
+					ps.mu.Lock()
+					if ps.evalErr == nil {
+						ps.evalErr = re
+					}
+					ps.mu.Unlock()
+					ps.stop.Store(true)
+				}
+			}()
 			ps.run(id)
 		}(i)
 	}
 	wg.Wait()
+	ps.mu.Lock()
+	evalErr := ps.evalErr
+	ps.mu.Unlock()
+	if evalErr != nil {
+		return res, fmt.Errorf("mc: evaluating model expression: %w", evalErr)
+	}
 
 	st := &res.Stats
 	st.StatesExplored = int(ps.explored.Load())
@@ -158,6 +186,7 @@ type parSearch struct {
 	mu          sync.Mutex
 	goalNode    *node
 	abortReason AbortReason
+	evalErr     error
 }
 
 // parWorker is the per-worker statistics block, written only by its owner

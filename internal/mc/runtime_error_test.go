@@ -1,0 +1,49 @@
+package mc
+
+import (
+	"strings"
+	"testing"
+
+	"guidedta/internal/ta"
+)
+
+// divByZeroSystem guards an edge with an expression that divides by a
+// variable holding zero, so successor computation hits the documented
+// *expr.RuntimeError panic during the search.
+func divByZeroSystem() (*ta.System, Goal) {
+	s := ta.NewSystem("divzero")
+	s.AddClock("x")
+	s.Table.DeclareVar("n", 0)
+	a := s.AddAutomaton("A")
+	l0 := a.AddLocation("l0", ta.Normal)
+	l1 := a.AddLocation("l1", ta.Normal)
+	a.SetInit(l0)
+	a.Edge(l0, l1).Guard("1 / n == 1").Done()
+	return s, Goal{Locs: []LocRequirement{{0, l1}}}
+}
+
+// A model-level evaluation fault (division by zero, array index out of
+// range) must surface as an error from Explore, not as a process-killing
+// panic: the serving layer runs untrusted models.
+func TestRuntimeErrorBecomesError(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"seq-bfs", DefaultOptions(BFS)},
+		{"seq-dfs", DefaultOptions(DFS)},
+		{"bsh", DefaultOptions(BSH)},
+		{"parallel", func() Options { o := DefaultOptions(BFS); o.Workers = 4; return o }()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s, goal := divByZeroSystem()
+			_, err := Explore(s, goal, tc.opts)
+			if err == nil {
+				t.Fatal("Explore returned nil error for a divide-by-zero guard")
+			}
+			if !strings.Contains(err.Error(), "division by zero") {
+				t.Errorf("error %q does not mention the division by zero", err)
+			}
+		})
+	}
+}

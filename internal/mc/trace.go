@@ -27,33 +27,86 @@ func TimeString(t int64) string {
 	return fmt.Sprintf("%d.5", t/Half)
 }
 
-// diffConstraint is T[u] - T[v] <= w over transition firing times, with
-// T[0] = 0 the trace start.
+// TimeStringAt renders a timestamp in 1/denom time units (as produced by
+// ConcretizeFine): whole multiples as "12", half units as "12.5", and
+// finer grid points as reduced fractions like "7/4".
+func TimeStringAt(t, denom int64) string {
+	if denom > 0 && t%denom == 0 {
+		return fmt.Sprintf("%d", t/denom)
+	}
+	if denom == Half {
+		return TimeString(t)
+	}
+	g := gcd(t, denom)
+	if g > 1 {
+		t, denom = t/g, denom/g
+	}
+	return fmt.Sprintf("%d/%d", t, denom)
+}
+
+func gcd(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// diffConstraint is T[u] - T[v] <= w (or < w when strict) over transition
+// firing times in half units, with T[0] = 0 the trace start.
 type diffConstraint struct {
-	u, v int
-	w    int64
+	u, v   int
+	w      int64
+	strict bool
 }
 
 // Concretize assigns an absolute firing time to every transition of a
-// symbolic trace, choosing the earliest consistent schedule. It replays the
-// discrete path, collects the difference constraints induced by guards and
-// invariants, solves them greedily, and falls back to an exact
-// Bellman–Ford solution if the greedy choice is inconsistent (possible
-// when delaying a reset would have relaxed a later upper bound).
+// symbolic trace, choosing the earliest consistent schedule on the
+// half-unit grid. It replays the discrete path, collects the difference
+// constraints induced by guards and invariants, solves them greedily, and
+// falls back to an exact Bellman–Ford solution if the greedy choice is
+// inconsistent (possible when delaying a reset would have relaxed a later
+// upper bound).
+//
+// Chains of strict constraints can be satisfiable over dense time yet
+// admit no half-unit schedule (each strict bound needs real slack, and the
+// slacks accumulate); Concretize reports that case as an error. Use
+// ConcretizeFine to schedule such traces on an adaptively finer grid.
+// Plant models use weak bounds only, so the synthesis pipeline always
+// stays on the half-unit grid.
 func Concretize(sys *ta.System, trace []Transition) ([]ConcreteStep, error) {
-	cons, err := traceConstraints(sys, trace)
+	steps, denom, err := ConcretizeFine(sys, trace)
 	if err != nil {
 		return nil, err
 	}
-	times, err := solveDifferenceConstraints(len(trace), cons)
+	if denom != Half {
+		return nil, fmt.Errorf("mc: trace is schedulable only at 1/%d time granularity (strict-constraint chain); use ConcretizeFine", denom)
+	}
+	return steps, nil
+}
+
+// ConcretizeFine is Concretize without the half-unit restriction: it
+// schedules on the half-unit grid when one exists and otherwise on the
+// grid 1/denom with denom = 2*(len(trace)+2), which is fine enough for
+// every dense-time-feasible trace. Step times are in 1/denom time units;
+// denom == Half exactly when Concretize would succeed. An error means the
+// trace is genuinely inconsistent over dense time.
+func ConcretizeFine(sys *ta.System, trace []Transition) ([]ConcreteStep, int64, error) {
+	cons, err := traceConstraints(sys, trace)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
+	}
+	times, scale, err := solveDifferenceConstraints(len(trace), cons)
+	if err != nil {
+		return nil, 0, err
 	}
 	steps := make([]ConcreteStep, len(trace))
 	for i, t := range trace {
 		steps[i] = ConcreteStep{Time: times[i+1], Trans: t}
 	}
-	return steps, nil
+	return steps, scale * Half, nil
 }
 
 // ValidateConcrete checks that concrete firing times satisfy every timing
@@ -61,6 +114,17 @@ func Concretize(sys *ta.System, trace []Transition) ([]ConcreteStep, error) {
 // It is the independent checker for Concretize's output: any schedule that
 // passes is genuinely executable.
 func ValidateConcrete(sys *ta.System, steps []ConcreteStep) error {
+	return ValidateConcreteAt(sys, steps, Half)
+}
+
+// ValidateConcreteAt is ValidateConcrete for schedules whose times are in
+// 1/denom time units (denom a positive multiple of Half), as produced by
+// ConcretizeFine.
+func ValidateConcreteAt(sys *ta.System, steps []ConcreteStep, denom int64) error {
+	if denom <= 0 || denom%Half != 0 {
+		return fmt.Errorf("mc: time denominator %d is not a positive multiple of %d", denom, Half)
+	}
+	scale := denom / Half
 	trace := make([]Transition, len(steps))
 	for i, s := range steps {
 		trace[i] = s.Trans
@@ -74,9 +138,10 @@ func ValidateConcrete(sys *ta.System, steps []ConcreteStep) error {
 		times[i+1] = s.Time
 	}
 	for _, c := range cons {
-		if times[c.u]-times[c.v] > c.w {
-			return fmt.Errorf("mc: timing constraint T%d - T%d <= %s violated (%s - %s)",
-				c.u, c.v, TimeString(c.w), TimeString(times[c.u]), TimeString(times[c.v]))
+		if times[c.u]-times[c.v] > encodeBound(c, scale) {
+			return fmt.Errorf("mc: timing constraint T%d - T%d %s %s violated (%s - %s)",
+				c.u, c.v, map[bool]string{true: "<", false: "<="}[c.strict], TimeString(c.w),
+				TimeStringAt(times[c.u], denom), TimeStringAt(times[c.v], denom))
 		}
 	}
 	return nil
@@ -102,29 +167,28 @@ func traceConstraints(sys *ta.System, trace []Transition) ([]diffConstraint, err
 	env := sys.Table.NewEnv()
 
 	var cons []diffConstraint
-	add := func(u, v int, w int64) { cons = append(cons, diffConstraint{u, v, w}) }
-
-	// scaledBound converts a weak/strict bound to the ×2 integer encoding.
-	scaledBound := func(c ta.ClockConstraint) int64 {
-		w := int64(c.B.Value()) * Half
-		if !c.B.IsWeak() {
-			w--
-		}
-		return w
+	add := func(u, v int, w int64, strict bool) {
+		cons = append(cons, diffConstraint{u, v, w, strict})
 	}
+
 	// addClockConstraint records guard/invariant constraint c as holding at
-	// time step s.
+	// time step s. Bound values are scaled to half units; strictness stays
+	// symbolic so the solver can pick a grid fine enough to leave real
+	// slack on every strict bound (folding it into the value as a fixed -1
+	// under-approximates chains of strict constraints).
 	addClockConstraint := func(s int, c ta.ClockConstraint) {
+		w := int64(c.B.Value()) * Half
+		strict := !c.B.IsWeak()
 		switch {
 		case c.I != 0 && c.J == 0:
 			r := lastReset[c.I]
-			add(s, r.step, scaledBound(c)-r.val)
+			add(s, r.step, w-r.val, strict)
 		case c.I == 0 && c.J != 0:
 			r := lastReset[c.J]
-			add(r.step, s, scaledBound(c)+r.val)
+			add(r.step, s, w+r.val, strict)
 		default:
 			ri, rj := lastReset[c.I], lastReset[c.J]
-			add(rj.step, ri.step, scaledBound(c)-ri.val+rj.val)
+			add(rj.step, ri.step, w-ri.val+rj.val, strict)
 		}
 	}
 	invariantsAt := func(s int) {
@@ -137,7 +201,14 @@ func traceConstraints(sys *ta.System, trace []Transition) ([]diffConstraint, err
 
 	for si, t := range trace {
 		s := si + 1
-		add(s-1, s, 0) // monotonic time: T[s] >= T[s-1]
+		add(s-1, s, 0, false) // monotonic time: T[s] >= T[s-1]
+		if NoDelayAt(sys, locs, env) {
+			// The source state forbids delay (urgent/committed location or
+			// enabled urgent sync): transition s must fire at T[s-1]. The
+			// engine never delayed here, so omitting this constraint let
+			// Concretize schedule time where the semantics admit none.
+			add(s, s-1, 0, false)
+		}
 
 		a1 := sys.Automata[t.A1]
 		e1 := &a1.Edges[t.E1]
@@ -191,12 +262,32 @@ func traceConstraints(sys *ta.System, trace []Transition) ([]diffConstraint, err
 	return cons, nil
 }
 
+// encodeBound is the integer encoding of a difference constraint at grid
+// scale (times in units of 1/(scale*Half) model units): bound values scale
+// by `scale`, and a strict bound tightens by one grid tick so any integer
+// solution leaves real slack on it.
+func encodeBound(c diffConstraint, scale int64) int64 {
+	w := c.w * scale
+	if c.strict {
+		w--
+	}
+	return w
+}
+
 // solveDifferenceConstraints finds T[0..k] with T[0]=0 satisfying every
-// T[u]-T[v] <= w, preferring the earliest (pointwise minimal) solution. The
-// greedy forward pass is exact whenever upper bounds never force delaying a
-// reset (the common case); otherwise Bellman–Ford provides a feasible
-// solution.
-func solveDifferenceConstraints(k int, cons []diffConstraint) ([]int64, error) {
+// T[u]-T[v] <= w (< w when strict), preferring the earliest (pointwise
+// minimal) solution on the coarsest workable grid. It returns the times and
+// the grid scale: times are in units of 1/(scale*Half) model units.
+//
+// At scale 1 (half units) the greedy forward pass is exact whenever upper
+// bounds never force delaying a reset (the common case); Bellman–Ford
+// covers the rest. A strict constraint costs one grid tick of slack, so a
+// cycle threaded through several strict bounds can be real-feasible yet
+// have no half-unit solution; retrying at scale k+2 decides feasibility
+// exactly — a simple negative cycle has at most k+1 edges, so scaling
+// values by more than that outweighs every per-edge tick, making the
+// integer system feasible iff the dense-time one is.
+func solveDifferenceConstraints(k int, cons []diffConstraint) ([]int64, int64, error) {
 	times := make([]int64, k+1)
 	// Group constraints by their later variable for the greedy pass.
 	lower := make([][]diffConstraint, k+1) // constraints giving T[s] >= ...
@@ -221,52 +312,111 @@ greedy:
 	for s := 1; s <= k; s++ {
 		t := times[s-1]
 		for _, c := range lower[s] {
-			if lb := times[c.u] - c.w; lb > t {
+			if lb := times[c.u] - encodeBound(c, 1); lb > t {
 				t = lb
 			}
 		}
 		times[s] = t
 		for _, c := range check[s] {
-			if times[c.u]-times[c.v] > c.w {
+			if times[c.u]-times[c.v] > encodeBound(c, 1) {
 				greedyOK = false
 				break greedy
 			}
 		}
 	}
 	if greedyOK {
-		return times, nil
+		return times, 1, nil
 	}
 
-	// Exact fallback: Bellman–Ford from a virtual source connected to all
-	// variables with weight 0.
+	if times, ok := bellmanFord(k, cons, 1); ok {
+		return times, 1, nil
+	}
+	exact := int64(k) + 2
+	if times, ok := bellmanFord(k, cons, exact); ok {
+		return times, exact, nil
+	}
+	return nil, 0, fmt.Errorf("mc: trace has inconsistent timing constraints (negative cycle)")
+}
+
+// bellmanFord solves the constraints at the given grid scale from a virtual
+// source connected to all variables with weight 0, returning false on a
+// negative cycle.
+func bellmanFord(k int, cons []diffConstraint, scale int64) ([]int64, bool) {
 	const inf = int64(1) << 60
 	dist := make([]int64, k+1)
 	for iter := 0; iter <= k+1; iter++ {
 		changed := false
 		for _, c := range cons {
 			// Edge v -> u with weight w: dist[u] <= dist[v] + w.
-			if d := dist[c.v] + c.w; d < dist[c.u] {
+			if d := dist[c.v] + encodeBound(c, scale); d < dist[c.u] {
 				dist[c.u] = d
 				changed = true
 				if d < -inf {
-					return nil, fmt.Errorf("mc: concretization diverged (negative cycle)")
+					return nil, false
 				}
 			}
 		}
 		if !changed {
-			// Shift so T[0] = 0 and verify.
+			// Shift so T[0] = 0.
+			times := make([]int64, k+1)
 			for i := range dist {
 				times[i] = dist[i] - dist[0]
 			}
-			for _, c := range cons {
-				if times[c.u]-times[c.v] > c.w {
-					return nil, fmt.Errorf("mc: internal error: Bellman–Ford solution violates constraint")
-				}
-			}
-			return times, nil
+			return times, true
 		}
 	}
-	return nil, fmt.Errorf("mc: trace has inconsistent timing constraints (negative cycle)")
+	return nil, false
+}
+
+// NoDelayAt reports whether delay is forbidden in the given discrete
+// state: some automaton occupies an urgent or committed location, or an
+// urgent-channel synchronization between two distinct automata is enabled
+// (urgent edges carry no clock guards — Validate enforces that — so
+// enabledness is purely discrete). This mirrors the engine's urgency
+// classification; it is exported so independent trace checkers can audit
+// concretized schedules against the same semantics. Requires Freeze.
+func NoDelayAt(sys *ta.System, locs []int32, env []int32) bool {
+	for ai, a := range sys.Automata {
+		switch a.Locations[locs[ai]].Kind {
+		case ta.Committed, ta.Urgent:
+			return true
+		}
+	}
+	var senders map[int][]int
+	for ai, a := range sys.Automata {
+		for _, ei := range a.OutEdges(int(locs[ai])) {
+			e := &a.Edges[ei]
+			if e.Dir != ta.Send || !sys.Channel(e.Chan).Urgent {
+				continue
+			}
+			if expr.Truthy(e.IntGuard, env) {
+				if senders == nil {
+					senders = make(map[int][]int)
+				}
+				senders[e.Chan] = append(senders[e.Chan], ai)
+			}
+		}
+	}
+	if senders == nil {
+		return false
+	}
+	for ai, a := range sys.Automata {
+		for _, ei := range a.OutEdges(int(locs[ai])) {
+			e := &a.Edges[ei]
+			if e.Dir != ta.Recv || !sys.Channel(e.Chan).Urgent {
+				continue
+			}
+			if !expr.Truthy(e.IntGuard, env) {
+				continue
+			}
+			for _, sender := range senders[e.Chan] {
+				if sender != ai {
+					return true
+				}
+			}
+		}
+	}
+	return false
 }
 
 // FormatTrace renders a concretized trace, one timestamped transition per

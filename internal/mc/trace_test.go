@@ -150,9 +150,12 @@ func TestSolveDifferenceConstraintsFallback(t *testing.T) {
 		{u: 2, v: 1, w: 2},   // T2 - T1 <= 2
 		{u: 0, v: 2, w: -10}, // T2 >= 10
 	}
-	times, err := solveDifferenceConstraints(2, cons)
+	times, scale, err := solveDifferenceConstraints(2, cons)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if scale != 1 {
+		t.Errorf("scale = %d, want 1 (all bounds weak)", scale)
 	}
 	if times[0] != 0 {
 		t.Errorf("T0 = %d, want 0", times[0])
@@ -169,7 +172,7 @@ func TestSolveDifferenceConstraintsInfeasible(t *testing.T) {
 		{u: 0, v: 1, w: -5}, // T1 >= 5
 		{u: 1, v: 0, w: 2},  // T1 <= 2
 	}
-	if _, err := solveDifferenceConstraints(1, cons); err == nil {
+	if _, _, err := solveDifferenceConstraints(1, cons); err == nil {
 		t.Error("infeasible system accepted")
 	}
 }
@@ -284,6 +287,212 @@ func TestConcretizeAlwaysValidates(t *testing.T) {
 		}
 		if err := ValidateConcrete(sys, steps); err != nil {
 			t.Fatalf("trial %d: concretized schedule invalid: %v", trial, err)
+		}
+	}
+}
+
+// Pre-fix, Concretize knew nothing about urgency: for a trace through an
+// urgent location it happily returned the greedy schedule that fires the
+// entry transition early and then sits inside the urgent location waiting
+// for the next guard — a schedule the semantics (and the engine, which
+// never delays there) do not admit. The urgency constraint T[s] <= T[s-1]
+// forces both transitions to the same instant.
+func TestConcretizeUrgentNoStall(t *testing.T) {
+	s := ta.NewSystem("urgent-stall")
+	x := s.AddClock("x")
+	a := s.AddAutomaton("A")
+	l0 := a.AddLocation("l0", ta.Normal)
+	l1 := a.AddLocation("l1", ta.Urgent)
+	l2 := a.AddLocation("l2", ta.Normal)
+	a.SetInit(l0)
+	a.Edge(l0, l1).Done()                   // can fire at any time
+	a.Edge(l1, l2).When(ta.GE(x, 3)).Done() // needs x >= 3, but l1 forbids delay
+	goal := Goal{Locs: []LocRequirement{{0, l2}}}
+
+	res, err := Explore(s, goal, DefaultOptions(BFS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || len(res.Trace) != 2 {
+		t.Fatalf("found=%v trace=%d, want goal via 2 steps", res.Found, len(res.Trace))
+	}
+
+	locsAt, envAt, err := ReplayDiscrete(s, res.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !NoDelayAt(s, locsAt[1], envAt[1]) {
+		t.Fatal("NoDelayAt should report the urgent location l1")
+	}
+	if NoDelayAt(s, locsAt[0], envAt[0]) {
+		t.Fatal("NoDelayAt misreports the normal location l0")
+	}
+
+	steps, err := Concretize(s, res.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateConcrete(s, steps); err != nil {
+		t.Fatal(err)
+	}
+	// Both transitions must fire at t=3: delaying to 3 happens in l0, and
+	// the urgent l1 is exited in the same instant it is entered.
+	if steps[0].Time != 3*Half || steps[1].Time != 3*Half {
+		t.Errorf("times = %s, %s; want 3, 3 (no stall inside the urgent location)",
+			TimeString(steps[0].Time), TimeString(steps[1].Time))
+	}
+}
+
+// Same stall scenario through an enabled urgent-channel sync: once the
+// peer is ready the sync must fire without delay, so the concretized
+// schedule may not park time between readiness and the sync.
+func TestConcretizeUrgentChannelNoStall(t *testing.T) {
+	s := ta.NewSystem("urgent-chan-stall")
+	x := s.AddClock("x")
+	s.AddChannel("go", true) // urgent
+	p := s.AddAutomaton("P")
+	p0 := p.AddLocation("p0", ta.Normal)
+	p1 := p.AddLocation("p1", ta.Normal)
+	p2 := p.AddLocation("p2", ta.Normal)
+	p.SetInit(p0)
+	p.Edge(p0, p1).Done()
+	p.Edge(p1, p2).Sync("go", ta.Send).Done()
+	q := s.AddAutomaton("Q")
+	q0 := q.AddLocation("q0", ta.Normal)
+	q1 := q.AddLocation("q1", ta.Normal)
+	q.SetInit(q0)
+	q.Edge(q0, q1).Sync("go", ta.Recv).Done()
+	goal := Goal{
+		Locs: []LocRequirement{{0, p2}},
+		Expr: nil,
+	}
+	_ = x
+
+	res, err := Explore(s, goal, DefaultOptions(BFS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("goal not found")
+	}
+	locsAt, envAt, err := ReplayDiscrete(s, res.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After P steps to p1 the urgent sync is enabled: delay is forbidden.
+	sawUrgent := false
+	for i := range locsAt {
+		if NoDelayAt(s, locsAt[i], envAt[i]) {
+			sawUrgent = true
+		}
+	}
+	if !sawUrgent {
+		t.Fatal("no state along the trace reports an enabled urgent sync")
+	}
+	steps, err := Concretize(s, res.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateConcrete(s, steps); err != nil {
+		t.Fatal(err)
+	}
+	// The times audit: whenever the state before step i forbids delay, the
+	// step fires at the same instant as its predecessor.
+	prev := int64(0)
+	for i, st := range steps {
+		if NoDelayAt(s, locsAt[i], envAt[i]) && st.Time != prev {
+			t.Errorf("step %d fires at %s but its source state forbids delay since %s",
+				i, TimeString(st.Time), TimeString(prev))
+		}
+		prev = st.Time
+	}
+}
+
+// A chain of strict constraints can be dense-time feasible yet have no
+// half-unit schedule: x < 1 at the reset, then gt > 1 and x < 1 at the
+// exit needs T1 < 1 < T2 < T1 + 1, e.g. T1 = 0.9, T2 = 1.5 — but on the
+// half grid T1 <= 0.5 forces T2 <= 1.0, contradicting T2 > 1. The old
+// solver folded strictness into a fixed -1 on the half grid and reported
+// such traces as inconsistent (a false negative cycle, found by the fuzz
+// harness); ConcretizeFine must schedule them on a finer grid instead.
+func TestConcretizeFineStrictChain(t *testing.T) {
+	s := ta.NewSystem("strict-chain")
+	gt := s.AddClock("gt")
+	x := s.AddClock("x")
+	a := s.AddAutomaton("A")
+	l0 := a.AddLocation("l0", ta.Normal)
+	l1 := a.AddLocation("l1", ta.Normal)
+	l2 := a.AddLocation("l2", ta.Normal)
+	a.SetInit(l0)
+	a.Edge(l0, l1).When(ta.LT(x, 1)).Reset(x).Done()
+	a.Edge(l1, l2).When(ta.GT(gt, 1), ta.LT(x, 1)).Done()
+	goal := Goal{Locs: []LocRequirement{{0, l2}}}
+
+	res, err := Explore(s, goal, DefaultOptions(BFS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || len(res.Trace) != 2 {
+		t.Fatalf("found=%v trace=%d, want goal via 2 steps", res.Found, len(res.Trace))
+	}
+
+	if _, err := Concretize(s, res.Trace); err == nil {
+		t.Error("Concretize accepted a trace with no half-unit schedule")
+	} else if !strings.Contains(err.Error(), "granularity") {
+		t.Errorf("Concretize failed with %q, want the fine-granularity hint", err)
+	}
+
+	steps, denom, err := ConcretizeFine(s, res.Trace)
+	if err != nil {
+		t.Fatalf("ConcretizeFine rejected a dense-time-feasible trace: %v", err)
+	}
+	if denom <= Half || denom%Half != 0 {
+		t.Fatalf("denom = %d, want a multiple of %d greater than it", denom, Half)
+	}
+	if err := ValidateConcreteAt(s, steps, denom); err != nil {
+		t.Fatal(err)
+	}
+	// The strict bounds as rationals: T1 < 1, T2 > 1, T2 - T1 < 1.
+	t1, t2 := steps[0].Time, steps[1].Time
+	if !(t1 < denom && t2 > denom && t2-t1 < denom) {
+		t.Errorf("schedule %s, %s (denom %d) violates the strict chain",
+			TimeStringAt(t1, denom), TimeStringAt(t2, denom), denom)
+	}
+}
+
+// A genuinely inconsistent trace must still be rejected at every grid:
+// weak bounds x <= 1 at the reset and gt >= 3 with x <= 1 at the exit
+// force T2 >= 3 and T2 <= T1 + 1 <= 2 over dense time too.
+func TestConcretizeFineRejectsInfeasible(t *testing.T) {
+	s := ta.NewSystem("infeasible")
+	gt := s.AddClock("gt")
+	x := s.AddClock("x")
+	a := s.AddAutomaton("A")
+	l0 := a.AddLocation("l0", ta.Normal)
+	l1 := a.AddLocation("l1", ta.Normal)
+	l2 := a.AddLocation("l2", ta.Normal)
+	a.SetInit(l0)
+	e0 := a.Edge(l0, l1).When(ta.LE(x, 1)).Reset(x).Done()
+	e1 := a.Edge(l1, l2).When(ta.GE(gt, 3), ta.LE(x, 1)).Done()
+	s.MustFreeze()
+	trace := []Transition{
+		{Chan: -1, A1: 0, E1: e0, A2: -1, E2: -1},
+		{Chan: -1, A1: 0, E1: e1, A2: -1, E2: -1},
+	}
+	if _, _, err := ConcretizeFine(s, trace); err == nil {
+		t.Error("ConcretizeFine accepted an inconsistent trace")
+	}
+}
+
+func TestTimeStringAt(t *testing.T) {
+	for _, tt := range []struct {
+		t, denom int64
+		want     string
+	}{
+		{24, 12, "2"}, {6, 12, "1/2"}, {9, 12, "3/4"}, {3, 2, "1.5"}, {0, 12, "0"},
+	} {
+		if got := TimeStringAt(tt.t, tt.denom); got != tt.want {
+			t.Errorf("TimeStringAt(%d, %d) = %q, want %q", tt.t, tt.denom, got, tt.want)
 		}
 	}
 }

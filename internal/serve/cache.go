@@ -17,15 +17,27 @@ func hashModel(sys *ta.System, goal *mc.Goal) (string, error) {
 	return tadsl.Hash(sys, goal)
 }
 
-// cacheKey derives the content address of a query: the canonical model
-// sha256 combined with the normalized search options. Everything that can
-// change the answer or the reported effort — order, store flavor,
-// parallelism, limits — is part of the key; observability knobs
-// (SnapshotEvery, Observer, Profile) deliberately are not.
-func cacheKey(modelSHA string, opts mc.Options) string {
+// cacheKey derives the content address of a query: the job kind ("model"
+// or "plant" — plant outcomes carry schedule and program artifacts that a
+// plain model verdict must never alias), the canonical model sha256, and
+// the normalized search options. Everything that can change the answer or
+// the reported effort — order, store flavor, parallelism, limits — is part
+// of the key; observability knobs (SnapshotEvery, Observer, Profile)
+// deliberately are not.
+func cacheKey(kind, modelSHA string, opts mc.Options) string {
+	// Key on the canonical options the engine actually runs with, so
+	// spellings of the same configuration (Workers 0 vs 1, a worker count
+	// on the inherently sequential BSH/BestTime orders) share an entry.
+	// Admission has already validated the options, so normalization cannot
+	// fail here; if it ever does, the raw options still form a correct —
+	// merely less collision-friendly — key.
+	if n, err := opts.Normalized(); err == nil {
+		opts = n
+	}
 	// The projection marshals deterministically (fixed struct field
 	// order), so identical options always serialize identically.
 	proj := struct {
+		Kind      string
 		Search    string
 		HashBits  int
 		Coarse    bool
@@ -41,6 +53,7 @@ func cacheKey(modelSHA string, opts mc.Options) string {
 		TimeClock int
 		Horizon   int32
 	}{
+		Kind:      kind,
 		Search:    opts.Search.String(),
 		HashBits:  opts.HashBits,
 		Coarse:    opts.CoarseHash,

@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"guidedta/internal/mc"
+)
+
+// Every verdict- or effort-affecting option must split the cache key: an
+// aliased key replays a cached verdict for a query the engine might answer
+// differently (e.g. a BSH under-approximation served to an exact BFS
+// request). Each mutation below flips exactly one field off the baseline
+// and must produce a distinct key.
+func TestCacheKeySplitsOnEveryVerdictField(t *testing.T) {
+	base := mc.DefaultOptions(mc.BFS)
+	muts := []struct {
+		name string
+		mut  func(o mc.Options) mc.Options
+	}{
+		{"Search", func(o mc.Options) mc.Options { o.Search = mc.DFS; return o }},
+		{"HashBits", func(o mc.Options) mc.Options { o.Search = mc.BSH; return o }},
+		{"CoarseHash", func(o mc.Options) mc.Options { o.CoarseHash = true; return o }},
+		{"Inclusion", func(o mc.Options) mc.Options { o.Inclusion = false; return o }},
+		{"Compact", func(o mc.Options) mc.Options { o.Compact = true; return o }},
+		{"Extrapolate", func(o mc.Options) mc.Options { o.Extrapolate = false; return o }},
+		{"Classic", func(o mc.Options) mc.Options { o.ClassicExtrapolation = true; return o }},
+		{"ActiveClocks", func(o mc.Options) mc.Options { o.ActiveClocks = false; return o }},
+		{"Workers", func(o mc.Options) mc.Options { o.Workers = 4; return o }},
+		{"MaxStates", func(o mc.Options) mc.Options { o.MaxStates = 1000; return o }},
+		{"MaxMemory", func(o mc.Options) mc.Options { o.MaxMemory = 1 << 20; return o }},
+		{"Timeout", func(o mc.Options) mc.Options { o.Timeout = time.Minute; return o }},
+		{"TimeClock", func(o mc.Options) mc.Options { o.TimeClock = 1; return o }},
+		{"TimeHorizon", func(o mc.Options) mc.Options { o.TimeHorizon = 500; return o }},
+	}
+	const sha = "deadbeef"
+	baseKey := cacheKey("model", sha, base)
+	seen := map[string]string{baseKey: "base"}
+	for _, m := range muts {
+		key := cacheKey("model", sha, m.mut(base))
+		if prev, dup := seen[key]; dup {
+			t.Errorf("option %s aliases the cache key of %s", m.name, prev)
+		}
+		seen[key] = m.name
+	}
+	// Different models split regardless of options.
+	if cacheKey("model", "othersha", base) == baseKey {
+		t.Error("different model hashes share a cache key")
+	}
+}
+
+// A plant job's outcome carries synthesized schedule and program
+// artifacts; a plain model job's does not. Even when both build the exact
+// same system and goal (same model hash), they must not share an entry.
+func TestCacheKeySplitsPlantFromModel(t *testing.T) {
+	opts := mc.DefaultOptions(mc.DFS)
+	if cacheKey("model", "samesha", opts) == cacheKey("plant", "samesha", opts) {
+		t.Error("plant and model jobs alias the same cache key")
+	}
+}
+
+// Spellings of the same engine configuration must share an entry: the key
+// is built from the normalized options, so Workers 0 and 1 (both "run
+// sequentially") hit each other's cached verdicts, as does any worker
+// count on the inherently sequential BSH and BestTime orders.
+func TestCacheKeyNormalizesEquivalentOptions(t *testing.T) {
+	w0 := mc.DefaultOptions(mc.BFS)
+	w1 := w0
+	w1.Workers = 1
+	if cacheKey("model", "sha", w0) != cacheKey("model", "sha", w1) {
+		t.Error("Workers 0 and Workers 1 miss each other's cache entries")
+	}
+	b1 := mc.DefaultOptions(mc.BSH)
+	b8 := b1
+	b8.Workers = 8
+	if cacheKey("model", "sha", b1) != cacheKey("model", "sha", b8) {
+		t.Error("BSH ignores Workers but the cache key does not")
+	}
+}

@@ -264,7 +264,11 @@ func (s *Server) buildExecution(req *SubmitRequest) (*execution, error) {
 		return nil, badRequestf("model cannot be serialized: %v", err)
 	}
 	ex.modelSHA = sha
-	ex.key = cacheKey(sha, opts)
+	kind := "model"
+	if ex.isPlant {
+		kind = "plant"
+	}
+	ex.key = cacheKey(kind, sha, opts)
 	return ex, nil
 }
 

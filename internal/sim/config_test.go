@@ -1,0 +1,47 @@
+package sim
+
+import "testing"
+
+// Explicit zero configurations must survive withDefaults: a zero-latency
+// link, zero-slack monitors, and a worst-case-speed plant are all
+// legitimate experiments. Before the pointer-sentinel Config these were
+// silently replaced with the defaults.
+func TestWithDefaultsKeepsExplicitZeros(t *testing.T) {
+	c := Config{
+		CommDelay:       Ptr(0),
+		SpeedMargin:     Ptr(0.0),
+		ContinuitySlack: Ptr(0),
+		DeadlineSlack:   Ptr(0),
+	}.withDefaults()
+	if *c.CommDelay != 0 {
+		t.Errorf("CommDelay: explicit 0 overwritten with %d", *c.CommDelay)
+	}
+	if *c.SpeedMargin != 0 {
+		t.Errorf("SpeedMargin: explicit 0 overwritten with %v", *c.SpeedMargin)
+	}
+	if *c.ContinuitySlack != 0 {
+		t.Errorf("ContinuitySlack: explicit 0 overwritten with %d", *c.ContinuitySlack)
+	}
+	if *c.DeadlineSlack != 0 {
+		t.Errorf("DeadlineSlack: explicit 0 overwritten with %d", *c.DeadlineSlack)
+	}
+}
+
+func TestWithDefaultsFillsUnsetFields(t *testing.T) {
+	c := Config{}.withDefaults()
+	if *c.CommDelay != 1 {
+		t.Errorf("CommDelay default = %d, want 1", *c.CommDelay)
+	}
+	if *c.SpeedMargin != 0.05 {
+		t.Errorf("SpeedMargin default = %v, want 0.05", *c.SpeedMargin)
+	}
+	if want := int(c.Params.TurnTime) + 2; *c.ContinuitySlack != want {
+		t.Errorf("ContinuitySlack default = %d, want %d", *c.ContinuitySlack, want)
+	}
+	if *c.DeadlineSlack != 2 {
+		t.Errorf("DeadlineSlack default = %d, want 2", *c.DeadlineSlack)
+	}
+	if c.TicksPerUnit != 100 {
+		t.Errorf("TicksPerUnit default = %d, want 100", c.TicksPerUnit)
+	}
+}

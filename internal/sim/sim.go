@@ -32,23 +32,30 @@ type Config struct {
 	// LossProb is the per-message loss probability of the IR link in each
 	// direction (default 0; set >0 to exercise the retry protocol).
 	LossProb float64
-	// CommDelay is the message delivery latency in ticks (default 1).
-	CommDelay int
+	// CommDelay is the message delivery latency in ticks. nil means the
+	// default of 1; Ptr(0) configures instantaneous delivery.
+	CommDelay *int
 	// SpeedMargin makes physical actions complete at worst-case duration ×
 	// (1 - margin); the model uses worst-case times (as the paper's model
 	// does), so a real plant is slightly faster, and the margin absorbs
-	// communication drift (default 0.05).
-	SpeedMargin float64
+	// communication drift. nil means the default of 0.05; Ptr(0.0)
+	// configures a plant that runs exactly at worst case.
+	SpeedMargin *float64
 	// ContinuitySlack is the tolerated casting gap in model time units
-	// before the continuity monitor reports a violation (default: the
-	// plant's TurnTime window plus 2 units of communication drift).
-	ContinuitySlack int
+	// before the continuity monitor reports a violation. nil means the
+	// default of the plant's TurnTime window plus 2 units of communication
+	// drift; Ptr(0) tolerates no gap at all.
+	ContinuitySlack *int
 	// DeadlineSlack is the tolerated pour-to-cast overshoot in model time
-	// units (default 2).
-	DeadlineSlack int
+	// units. nil means the default of 2; Ptr(0) enforces exact deadlines.
+	DeadlineSlack *int
 	// Seed drives the lossy channel; runs are deterministic per seed.
 	Seed int64
 }
+
+// Ptr wraps a literal for the Config's optional fields, so an explicit
+// zero is distinguishable from "use the default".
+func Ptr[T any](v T) *T { return &v }
 
 func (c Config) withDefaults() Config {
 	if c.Params == (plant.Params{}) {
@@ -57,17 +64,17 @@ func (c Config) withDefaults() Config {
 	if c.TicksPerUnit == 0 {
 		c.TicksPerUnit = 100
 	}
-	if c.CommDelay == 0 {
-		c.CommDelay = 1
+	if c.CommDelay == nil {
+		c.CommDelay = Ptr(1)
 	}
-	if c.SpeedMargin == 0 {
-		c.SpeedMargin = 0.05
+	if c.SpeedMargin == nil {
+		c.SpeedMargin = Ptr(0.05)
 	}
-	if c.ContinuitySlack == 0 {
-		c.ContinuitySlack = int(c.Params.TurnTime) + 2
+	if c.ContinuitySlack == nil {
+		c.ContinuitySlack = Ptr(int(c.Params.TurnTime) + 2)
 	}
-	if c.DeadlineSlack == 0 {
-		c.DeadlineSlack = 2
+	if c.DeadlineSlack == nil {
+		c.DeadlineSlack = Ptr(2)
 	}
 	return c
 }
@@ -156,7 +163,7 @@ func (s *Sim) violate(kind, format string, args ...any) {
 // ticksFor converts a worst-case model duration to real action ticks,
 // applying the speed margin.
 func (s *Sim) ticksFor(units int32) int64 {
-	t := float64(units) * float64(s.cfg.TicksPerUnit) * (1 - s.cfg.SpeedMargin)
+	t := float64(units) * float64(s.cfg.TicksPerUnit) * (1 - *s.cfg.SpeedMargin)
 	if t < 1 {
 		t = 1
 	}
@@ -235,7 +242,7 @@ func (p *centralPort) Send(msg int) {
 		s.violate("protocol", "unknown command code %d", msg)
 		return
 	}
-	s.after(int64(s.cfg.CommDelay), func() {
+	s.after(int64(*s.cfg.CommDelay), func() {
 		s.world.deliver(msg, cmd)
 	})
 }
@@ -254,5 +261,5 @@ func (s *Sim) sendAck(code int) {
 		s.report.MessagesLost++
 		return
 	}
-	s.after(int64(s.cfg.CommDelay), func() { s.centralBuf = code })
+	s.after(int64(*s.cfg.CommDelay), func() { s.centralBuf = code })
 }

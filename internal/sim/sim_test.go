@@ -71,7 +71,7 @@ func TestPipelineLossyLink(t *testing.T) {
 		// Moderate loss: the retry protocol recovers, at the cost of some
 		// timing drift, which the continuity monitor must tolerate.
 		s := New(prog, codec, p.NumBatches(), Config{
-			Params: cfg.Params, LossProb: 0.05, Seed: seed, ContinuitySlack: 6,
+			Params: cfg.Params, LossProb: 0.05, Seed: seed, ContinuitySlack: Ptr(6),
 		})
 		rep, err := s.Run()
 		if err != nil {

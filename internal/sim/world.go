@@ -345,14 +345,14 @@ func (w *world) casterCommand(cmd plant.Command) {
 			// longer than the slack (the paper's Section 2 requirement).
 			if w.caster.started > 0 && w.caster.lastEnd >= 0 {
 				gap := s.now - w.caster.lastEnd
-				if gap > int64(s.cfg.ContinuitySlack*s.cfg.TicksPerUnit) {
+				if gap > int64(*s.cfg.ContinuitySlack*s.cfg.TicksPerUnit) {
 					s.violate("continuity", "casting interrupted for %d ticks before ladle %d", gap, b)
 				}
 			}
 			if want := w.caster.started; want != b {
 				s.violate("order", "ladle %d cast out of order (expected ladle %d)", b, want)
 			}
-			limit := int64(s.cfg.Params.Deadline+int32(s.cfg.DeadlineSlack)) * int64(s.cfg.TicksPerUnit)
+			limit := int64(s.cfg.Params.Deadline+int32(*s.cfg.DeadlineSlack)) * int64(s.cfg.TicksPerUnit)
 			if l.pouredAt >= 0 && s.now-l.pouredAt > limit {
 				s.violate("deadline", "ladle %d cast %d ticks after pouring (limit %d)", b, s.now-l.pouredAt, limit)
 			}

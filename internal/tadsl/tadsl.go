@@ -57,9 +57,10 @@ type fileParser struct {
 	lines []line
 	pos   int
 
-	sys    *ta.System
-	consts map[string]bool
-	model  *Model
+	sys      *ta.System
+	consts   map[string]bool
+	automata map[string]int
+	model    *Model
 }
 
 type line struct {
@@ -98,6 +99,7 @@ func (p *fileParser) next() (line, bool) {
 func (p *fileParser) parse() (*Model, error) {
 	p.sys = ta.NewSystem("model")
 	p.consts = make(map[string]bool)
+	p.automata = make(map[string]int)
 	p.model = &Model{Sys: p.sys}
 
 	for {
@@ -120,6 +122,9 @@ func (p *fileParser) parse() (*Model, error) {
 			if err != nil {
 				return nil, p.errf(l.no, "bad constant value %q", fields[2])
 			}
+			if err := p.checkFresh(l, fields[1]); err != nil {
+				return nil, err
+			}
 			p.sys.Table.DefineConst(fields[1], int32(v))
 		case "int":
 			if err := p.parseInt(l, fields[1:]); err != nil {
@@ -130,10 +135,16 @@ func (p *fileParser) parse() (*Model, error) {
 				return nil, p.errf(l.no, "usage: clock <name>...")
 			}
 			for _, name := range fields[1:] {
+				if err := p.checkFresh(l, name); err != nil {
+					return nil, err
+				}
 				p.sys.AddClock(name)
 			}
 		case "chan":
 			for _, name := range fields[1:] {
+				if err := p.checkFresh(l, name); err != nil {
+					return nil, err
+				}
 				p.sys.AddChannel(name, false)
 			}
 		case "urgent":
@@ -141,6 +152,9 @@ func (p *fileParser) parse() (*Model, error) {
 				return nil, p.errf(l.no, "usage: urgent chan <name>...")
 			}
 			for _, name := range fields[2:] {
+				if err := p.checkFresh(l, name); err != nil {
+					return nil, err
+				}
 				p.sys.AddChannel(name, true)
 			}
 		case "automaton":
@@ -165,6 +179,37 @@ func (p *fileParser) parse() (*Model, error) {
 	return p.model, nil
 }
 
+// maxArraySize bounds declared int arrays: large enough for any plant
+// model, small enough that a hostile `int a[2000000000]` cannot exhaust
+// memory before the model is even checked.
+const maxArraySize = 4096
+
+// checkFresh rejects non-identifier names and redeclarations across every
+// namespace (clocks, channels, constants, int variables and arrays). The
+// underlying builders panic on duplicates — user input must be caught here
+// and surfaced as a parse error instead.
+func (p *fileParser) checkFresh(l line, name string) error {
+	if !isIdent(name) {
+		return p.errf(l.no, "name %q is not an identifier", name)
+	}
+	if _, dup := p.sys.ClockIndex(name); dup {
+		return p.errf(l.no, "%q already declared as a clock", name)
+	}
+	if _, dup := p.sys.ChannelIndex(name); dup {
+		return p.errf(l.no, "%q already declared as a channel", name)
+	}
+	if _, dup := p.sys.Table.LookupConst(name); dup {
+		return p.errf(l.no, "%q already declared as a constant", name)
+	}
+	if _, dup := p.sys.Table.LookupVar(name); dup {
+		return p.errf(l.no, "%q already declared as a variable", name)
+	}
+	if _, _, dup := p.sys.Table.LookupArray(name); dup {
+		return p.errf(l.no, "%q already declared as an array", name)
+	}
+	return nil
+}
+
 // parseInt handles "int name init" and "int name[N] v0 v1 ...".
 func (p *fileParser) parseInt(l line, fields []string) error {
 	if len(fields) == 0 {
@@ -178,6 +223,12 @@ func (p *fileParser) parseInt(l line, fields []string) error {
 		size, err := strconv.Atoi(name[open+1 : len(name)-1])
 		if err != nil || size < 1 {
 			return p.errf(l.no, "bad array size in %q", name)
+		}
+		if size > maxArraySize {
+			return p.errf(l.no, "array size %d exceeds limit %d", size, maxArraySize)
+		}
+		if err := p.checkFresh(l, name[:open]); err != nil {
+			return err
 		}
 		inits := make([]int32, 0, len(fields)-1)
 		for _, f := range fields[1:] {
@@ -204,6 +255,9 @@ func (p *fileParser) parseInt(l line, fields []string) error {
 		}
 		init = int32(v)
 	}
+	if err := p.checkFresh(l, name); err != nil {
+		return err
+	}
 	p.sys.Table.DeclareVar(name, init)
 	return nil
 }
@@ -212,7 +266,19 @@ func (p *fileParser) parseAutomaton(l line, fields []string) error {
 	if len(fields) != 2 || fields[1] != "{" {
 		return p.errf(l.no, "usage: automaton <name> {")
 	}
+	if !isIdent(fields[0]) {
+		return p.errf(l.no, "automaton name %q is not an identifier", fields[0])
+	}
+	if _, dup := p.automata[fields[0]]; dup {
+		return p.errf(l.no, "duplicate automaton %q", fields[0])
+	}
+	p.automata[fields[0]] = len(p.sys.Automata)
 	a := p.sys.AddAutomaton(fields[0])
+	// Location names resolve through this map rather than the automaton's
+	// linear LocationIndex scan: with one lookup per declared location and
+	// per edge endpoint, the linear scan made parsing quadratic in the
+	// location count (a multi-second stall on large hostile inputs).
+	locs := make(map[string]int)
 	sawInit := false
 	for {
 		ll, ok := p.next()
@@ -243,7 +309,7 @@ func (p *fileParser) parseAutomaton(l line, fields []string) error {
 			idx = 1
 		}
 		if idx < len(f) && f[idx] == "loc" {
-			if err := p.parseLocation(ll, a, f[0] == "init", kind, strings.Join(f[idx+1:], " ")); err != nil {
+			if err := p.parseLocation(ll, a, locs, f[0] == "init", kind, strings.Join(f[idx+1:], " ")); err != nil {
 				return err
 			}
 			if f[0] == "init" {
@@ -255,7 +321,7 @@ func (p *fileParser) parseAutomaton(l line, fields []string) error {
 			continue
 		}
 		if strings.Contains(ll.text, "->") {
-			if err := p.parseEdge(ll, a); err != nil {
+			if err := p.parseEdge(ll, a, locs); err != nil {
 				return err
 			}
 			continue
@@ -269,7 +335,7 @@ func (p *fileParser) parseAutomaton(l line, fields []string) error {
 }
 
 // parseLocation handles `<name>` or `<name> { inv <constraints> }`.
-func (p *fileParser) parseLocation(l line, a *ta.Automaton, isInit bool, kind ta.LocationKind, rest string) error {
+func (p *fileParser) parseLocation(l line, a *ta.Automaton, locs map[string]int, isInit bool, kind ta.LocationKind, rest string) error {
 	name := rest
 	var inv string
 	if open := strings.Index(rest, "{"); open >= 0 {
@@ -287,10 +353,14 @@ func (p *fileParser) parseLocation(l line, a *ta.Automaton, isInit bool, kind ta
 	if name == "" {
 		return p.errf(l.no, "location needs a name")
 	}
-	if _, dup := a.LocationIndex(name); dup {
+	if !isIdent(name) {
+		return p.errf(l.no, "location name %q is not an identifier", name)
+	}
+	if _, dup := locs[name]; dup {
 		return p.errf(l.no, "duplicate location %q", name)
 	}
 	li := a.AddLocation(name, kind)
+	locs[name] = li
 	if isInit {
 		a.SetInit(li)
 	}
@@ -308,7 +378,7 @@ func (p *fileParser) parseLocation(l line, a *ta.Automaton, isInit bool, kind ta
 }
 
 // parseEdge handles `src -> dst { guard ...; sync ch!|ch?; do ... }`.
-func (p *fileParser) parseEdge(l line, a *ta.Automaton) error {
+func (p *fileParser) parseEdge(l line, a *ta.Automaton, locs map[string]int) error {
 	text := l.text
 	arrow := strings.Index(text, "->")
 	src := strings.TrimSpace(text[:arrow])
@@ -323,11 +393,11 @@ func (p *fileParser) parseEdge(l line, a *ta.Automaton) error {
 		}
 		body = strings.TrimSpace(strings.TrimSuffix(body, "}"))
 	}
-	si, ok := a.LocationIndex(src)
+	si, ok := locs[src]
 	if !ok {
 		return p.errf(l.no, "unknown source location %q", src)
 	}
-	di, ok := a.LocationIndex(dst)
+	di, ok := locs[dst]
 	if !ok {
 		return p.errf(l.no, "unknown target location %q", dst)
 	}
@@ -568,13 +638,8 @@ func (p *fileParser) parseQuery(l line) error {
 		}
 		if dot := strings.Index(atom, "."); dot >= 0 && isIdent(atom[:dot]) && isIdent(atom[dot+1:]) {
 			autoName, locName := atom[:dot], atom[dot+1:]
-			ai := -1
-			for i, a := range p.sys.Automata {
-				if a.Name == autoName {
-					ai = i
-				}
-			}
-			if ai < 0 {
+			ai, ok := p.automata[autoName]
+			if !ok {
 				return p.errf(l.no, "unknown automaton %q in query", autoName)
 			}
 			li, ok := p.sys.Automata[ai].LocationIndex(locName)

@@ -107,6 +107,12 @@ func Write(w io.Writer, sys *ta.System, query *mc.Goal) error {
 
 	if query != nil {
 		var atoms []string
+		if query.Deadlock {
+			// Without this atom a pure-deadlock query serialized to nothing,
+			// so its model hashed identically to the query-free model and
+			// could alias a cached verdict in the serving layer.
+			atoms = append(atoms, "deadlock")
+		}
 		for _, lr := range query.Locs {
 			a := sys.Automata[lr.Automaton]
 			atoms = append(atoms, fmt.Sprintf("%s.%s", a.Name, a.Locations[lr.Location].Name))
