@@ -31,6 +31,8 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"strings"
 	"sync"
 	"time"
 
@@ -51,6 +53,13 @@ type runStats struct {
 	BytesPerState      float64 `json:"bytes_per_state"`
 	AvgZoneConstraints float64 `json:"avg_zone_constraints,omitempty"`
 	Seconds            float64 `json:"seconds"`
+	// AllocsPerState is the heap allocations (runtime malloc count) per
+	// explored state, and GCPauseMs the total stop-the-world pause time
+	// during the run — both from runtime.MemStats deltas around the search,
+	// tracking the allocation pressure the two stores put on the runtime.
+	AllocsPerState float64 `json:"allocs_per_state"`
+	GCPauseMs      float64 `json:"gc_pause_ms"`
+	Evictions      int64   `json:"evictions"`
 }
 
 // benchCase is one suite entry with its default/compact pair and the
@@ -93,9 +102,15 @@ func main() {
 	var (
 		out      = flag.String("out", "BENCH_mc.json", "output JSON path")
 		short    = flag.Bool("short", false, "run the reduced CI smoke suite")
+		caseSub  = flag.String("case", "", "run only suite cases whose name contains this substring")
+		repeat   = flag.Int("repeat", 1, "run each case this many times and keep the fastest run per store (repeats are bit-identical, so only timing varies)")
 		workers  = flag.Int("workers", 1, "parallel search workers (1 = sequential)")
 		progress = flag.Bool("progress", false, "print a live search progress line to stderr")
 		httpAddr = flag.String("http", "", "serve net/http/pprof and expvar (incl. the latest search snapshot) on this address, e.g. localhost:6060")
+
+		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the whole suite to this file")
+		memProfile   = flag.String("memprofile", "", "write a heap profile (after the suite) to this file")
+		minTimeRatio = flag.Float64("min-time-ratio", 0, "fail (exit 1) if any case's compact time_ratio falls below this floor — the CI regression guard")
 
 		serveURL    = flag.String("serve-url", "", "load-generator mode: benchmark a running mcserved at this base URL instead of the engine suite")
 		clients     = flag.Int("clients", 8, "load-generator concurrent clients")
@@ -123,6 +138,19 @@ func main() {
 	if *short {
 		suite = shortSuite()
 	}
+	if *caseSub != "" {
+		var filtered []suiteEntry
+		for _, e := range suite {
+			if strings.Contains(e.name, *caseSub) {
+				filtered = append(filtered, e)
+			}
+		}
+		if len(filtered) == 0 {
+			fmt.Fprintf(os.Stderr, "mcbench: no case matches %q\n", *caseSub)
+			os.Exit(1)
+		}
+		suite = filtered
+	}
 	if *httpAddr != "" {
 		// The default mux already carries /debug/pprof/* (imported above)
 		// and /debug/vars (expvar); mc_snapshot exposes the latest search
@@ -137,13 +165,27 @@ func main() {
 	}
 	watch := *progress || *httpAddr != ""
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "mcbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	bf := benchFile{
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
 	}
 	for _, e := range suite {
 		fmt.Fprintf(os.Stderr, "mcbench: %s\n", e.name)
-		c, err := runCase(e, *workers, watch, *progress)
+		c, err := runCase(e, *workers, *repeat, watch, *progress)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mcbench: %s: %v\n", e.name, err)
 			os.Exit(1)
@@ -165,6 +207,39 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "mcbench: wrote %s (%d cases)\n", *out, len(bf.Cases))
+
+	// Flush the profiles before any regression-guard exit (os.Exit skips
+	// the deferred stops).
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcbench:", err)
+			os.Exit(1)
+		}
+		runtime.GC() // settle the heap so the profile reflects live data
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "mcbench:", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+
+	if *minTimeRatio > 0 {
+		bad := false
+		for _, c := range bf.Cases {
+			if c.TimeRatio < *minTimeRatio {
+				fmt.Fprintf(os.Stderr, "mcbench: REGRESSION %s: time_ratio %.2f below floor %.2f\n",
+					c.Name, c.TimeRatio, *minTimeRatio)
+				bad = true
+			}
+		}
+		if bad {
+			os.Exit(1)
+		}
+	}
 }
 
 // latestSnapshot is the most recent progress snapshot of the running
@@ -192,8 +267,8 @@ func (v *snapshotVar) get() any {
 	return v.s
 }
 
-func runCase(e suiteEntry, workers int, watch, progress bool) (benchCase, error) {
-	run := func(compact bool) (runStats, mc.Result, error) {
+func runCase(e suiteEntry, workers, repeat int, watch, progress bool) (benchCase, error) {
+	runOnce := func(compact bool) (runStats, mc.Result, error) {
 		sys, goal, opts := e.build()
 		opts.Compact = compact
 		opts.Workers = workers
@@ -209,15 +284,19 @@ func runCase(e suiteEntry, workers int, watch, progress bool) (benchCase, error)
 			}
 			opts.Observer = mc.Observers(append(obs, opts.Observer)...)
 		}
+		var msBefore, msAfter runtime.MemStats
+		runtime.ReadMemStats(&msBefore)
 		start := time.Now()
 		res, err := mc.Explore(sys, goal, opts)
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&msAfter)
 		if err != nil {
 			return runStats{}, res, err
 		}
 		if res.Abort != mc.AbortNone && !(res.Abort == mc.AbortStates && e.maxStates > 0) {
 			return runStats{}, res, fmt.Errorf("aborted: %s", res.Abort)
 		}
-		return runStats{
+		rs := runStats{
 			Found:              res.Found,
 			StatesExplored:     res.Stats.StatesExplored,
 			StatesStored:       res.Stats.StatesStored,
@@ -225,8 +304,33 @@ func runCase(e suiteEntry, workers int, watch, progress bool) (benchCase, error)
 			PeakMemBytes:       res.Stats.MemBytes,
 			BytesPerState:      res.Stats.BytesPerStoredState(),
 			AvgZoneConstraints: res.Stats.AvgZoneConstraints,
-			Seconds:            time.Since(start).Seconds(),
-		}, res, nil
+			Seconds:            elapsed.Seconds(),
+			GCPauseMs:          float64(msAfter.PauseTotalNs-msBefore.PauseTotalNs) / 1e6,
+			Evictions:          res.Stats.Evictions,
+		}
+		if res.Stats.StatesExplored > 0 {
+			rs.AllocsPerState = float64(msAfter.Mallocs-msBefore.Mallocs) / float64(res.Stats.StatesExplored)
+		}
+		return rs, res, nil
+	}
+	// Repeats are bit-identical searches (same subsumption decisions, same
+	// stores), so every field except Seconds is constant across them; the
+	// fastest repeat is the least-noisy timing estimate for small cases.
+	run := func(compact bool) (runStats, mc.Result, error) {
+		best, bestRes, err := runOnce(compact)
+		if err != nil {
+			return best, bestRes, err
+		}
+		for r := 1; r < repeat; r++ {
+			rs, res, err := runOnce(compact)
+			if err != nil {
+				return rs, res, err
+			}
+			if rs.Seconds < best.Seconds {
+				best, bestRes = rs, res
+			}
+		}
+		return best, bestRes, nil
 	}
 	def, defRes, err := run(false)
 	if err != nil {

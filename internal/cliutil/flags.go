@@ -71,7 +71,7 @@ func AddSearchFlags(fs *flag.FlagSet, def mc.Options, omit ...string) *SearchFla
 		fs.BoolVar(&f.NoActive, "no-active", !def.ActiveClocks, "disable (in-)active clock reduction")
 	})
 	add("compact", func() {
-		fs.BoolVar(&f.Compact, "compact", def.Compact, "store passed zones in minimal-constraint form (lower memory, same answers)")
+		fs.BoolVar(&f.Compact, "compact", def.Compact, "store passed zones in minimal-constraint form (lower memory, same answers; on by default, -compact=false restores the full-DBM store)")
 	})
 	add("workers", func() {
 		fs.IntVar(&f.Workers, "workers", workers, "parallel search workers (bfs/dfs only; 1 = sequential)")

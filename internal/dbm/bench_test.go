@@ -1,0 +1,195 @@
+package dbm
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Micro-benchmarks for the DBM hot ops, so op-level wins (or regressions)
+// are measurable independently of end-to-end mcbench runs. Two dimensions
+// bracket the tracked workloads: n=6 matches Fischer-5 (tiny zones, where
+// per-op constants dominate) and n=24 matches the batch-plant instances
+// (where the O(n²)/O(n³) terms dominate).
+//
+// Each benchmark pre-generates a pool of random canonical zones and cycles
+// through it, so the measured loop sees realistic, varied inputs rather
+// than one cache-resident matrix.
+
+var benchDims = []int{6, 24}
+
+const benchPool = 64
+
+func benchZones(n int) []*DBM {
+	rng := rand.New(rand.NewSource(int64(1000 + n)))
+	zs := make([]*DBM, benchPool)
+	for i := range zs {
+		zs[i] = randomZone(rng, n)
+	}
+	return zs
+}
+
+func BenchmarkMinimal(b *testing.B) {
+	for _, n := range benchDims {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			zs := benchZones(n)
+			var r Reducer
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.Minimal(zs[i%benchPool])
+			}
+		})
+	}
+}
+
+func BenchmarkInflateInto(b *testing.B) {
+	for _, n := range benchDims {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			zs := benchZones(n)
+			cs := make([]*Compact, benchPool)
+			for i, z := range zs {
+				cs[i] = z.Minimal()
+			}
+			d := New(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cs[i%benchPool].InflateInto(d)
+			}
+		})
+	}
+}
+
+func BenchmarkInflateIntoFullClose(b *testing.B) {
+	// The partial-close path disabled: the before/after pair for the
+	// pivot-restricted closure in InflateInto.
+	defer SetPartialClose(true)
+	SetPartialClose(false)
+	for _, n := range benchDims {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			zs := benchZones(n)
+			cs := make([]*Compact, benchPool)
+			for i, z := range zs {
+				cs[i] = z.Minimal()
+			}
+			d := New(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cs[i%benchPool].InflateInto(d)
+			}
+		})
+	}
+}
+
+func BenchmarkIncludesDBM(b *testing.B) {
+	for _, n := range benchDims {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			zs := benchZones(n)
+			cs := make([]*Compact, benchPool)
+			for i, z := range zs {
+				cs[i] = z.Minimal()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cs[i%benchPool].IncludesDBM(zs[(i+1)%benchPool])
+			}
+		})
+	}
+}
+
+func BenchmarkSubsetOfDBM(b *testing.B) {
+	// Mix of subset pairs (a zone against its own Up-closure, which always
+	// includes it) and unrelated pairs, matching the store's eviction scan
+	// where roughly half the surviving tests succeed.
+	for _, n := range benchDims {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			zs := benchZones(n)
+			cs := make([]*Compact, benchPool)
+			ups := make([]*DBM, benchPool)
+			for i, z := range zs {
+				cs[i] = z.Minimal()
+				ups[i] = z.Clone()
+				ups[i].Up()
+			}
+			scratch := New(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%2 == 0 {
+					cs[i%benchPool].SubsetOfDBM(ups[i%benchPool], scratch)
+				} else {
+					cs[i%benchPool].SubsetOfDBM(zs[(i+1)%benchPool], scratch)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkUp(b *testing.B) {
+	for _, n := range benchDims {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			zs := benchZones(n)
+			d := New(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.CopyFrom(zs[i%benchPool])
+				d.Up()
+			}
+		})
+	}
+}
+
+func BenchmarkReset(b *testing.B) {
+	for _, n := range benchDims {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			zs := benchZones(n)
+			d := New(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.CopyFrom(zs[i%benchPool])
+				d.Reset(1+i%(n-1), int32(i%8))
+			}
+		})
+	}
+}
+
+func BenchmarkClose(b *testing.B) {
+	for _, n := range benchDims {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			zs := benchZones(n)
+			d := New(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.CopyFrom(zs[i%benchPool])
+				d.Close()
+			}
+		})
+	}
+}
+
+func BenchmarkExtrapolateLU(b *testing.B) {
+	for _, n := range benchDims {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			zs := benchZones(n)
+			lower := make([]int32, n)
+			upper := make([]int32, n)
+			for i := 1; i < n; i++ {
+				lower[i] = int32(i % 7)
+				upper[i] = int32(i%5) + 2
+			}
+			d := New(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.CopyFrom(zs[i%benchPool])
+				d.ExtrapolateLU(lower, upper)
+			}
+		})
+	}
+}

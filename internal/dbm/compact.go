@@ -54,30 +54,78 @@ func (c *Compact) MemBytes() int {
 	return 8*len(c.cs) + 32
 }
 
+// RowMask returns the set of clock rows sourcing at least one stored
+// constraint, as a bitmask (bit 0 always set for the reference row;
+// all-ones beyond 64 clocks, where the mask degrades to "any row").
+//
+// The mask is a cheap necessary condition for zone inclusion between
+// minimal forms: a finite closure entry of zone(a) at (i,j), i ≥ 1, needs a
+// path i ⇝ j in a's constraint graph, whose first edge must be a stored
+// constraint sourced at i (the implied base edges x_j - x_0 ≤ 0 all leave
+// the reference row). Hence zone(a) ⊆ zone(b) — every constraint of b's
+// minimal form matched by a finite closure entry of a — requires
+// RowMask(b) &^ RowMask(a) == 0. Stores use this to skip the expensive
+// eviction-direction inclusion test.
+//
+// No analogous column condition exists: the base edges enter every column
+// from the reference row, so a clock can be a finite closure target without
+// ever being a stored-constraint target. (Likewise bit 0 is forced on both
+// sides: row 0 of any nonempty closure is finite via the base edges alone.)
+func (c *Compact) RowMask() uint64 {
+	if c.n > 64 {
+		return ^uint64(0)
+	}
+	m := uint64(1)
+	for _, cc := range c.cs {
+		m |= 1 << cc.I
+	}
+	return m
+}
+
 // Minimal extracts the minimal-constraint form of a canonical zone. The
 // result round-trips through Inflate to an Equal DBM, and is unique: two
 // canonical DBMs represent the same zone iff their Minimal forms are Equal.
 // An empty zone yields the single inconsistent constraint x0 - x0 < 0.
 func (d *DBM) Minimal() *Compact {
+	var r Reducer
+	return r.Minimal(d)
+}
+
+// Reducer extracts minimal-constraint forms while reusing its internal
+// scratch buffers across calls, so a store inserting one compact zone per
+// stored state pays exactly one exact-size allocation per zone instead of
+// the work buffers and append-growth of the one-shot DBM.Minimal. A Reducer
+// is not safe for concurrent use; give each store shard its own.
+type Reducer struct {
+	rep     []int
+	members []int
+	buf     []Constraint
+}
+
+// Minimal is DBM.Minimal computed through the reducer's scratch space. The
+// returned Compact holds a freshly allocated, exactly sized constraint
+// slice and shares nothing with the reducer, and is bit-identical (same
+// constraints, same order) to what DBM.Minimal returns.
+func (r *Reducer) Minimal(d *DBM) *Compact {
 	n := d.n
 	if d.IsEmpty() {
 		return &Compact{n: n, cs: []Constraint{{0, 0, LTZero}}}
 	}
-	var cs []Constraint
-	emit := func(i, j int, b Bound) {
-		if i == 0 && b == LEZero {
-			return // implied by the universal base zone (xj >= 0)
-		}
-		cs = append(cs, Constraint{uint16(i), uint16(j), b})
-	}
+	// Constraints (0, j, LEZero) are implied by the universal base zone
+	// (xj >= 0) and skipped at every emission site below.
+	buf := r.buf[:0]
 
 	// Phase 1: zero-cycle equivalence classes, pinned by one cycle each.
 	// rep[i] is the smallest clock index equal to clock i.
-	rep := make([]int, n)
+	if cap(r.rep) < n {
+		r.rep = make([]int, n)
+		r.members = make([]int, 0, n)
+	}
+	rep := r.rep[:n]
 	for i := range rep {
 		rep[i] = -1
 	}
-	var members []int
+	members := r.members
 	for i := 0; i < n; i++ {
 		if rep[i] != -1 {
 			continue
@@ -94,32 +142,43 @@ func (d *DBM) Minimal() *Compact {
 		if len(members) > 1 {
 			for k := 0; k+1 < len(members); k++ {
 				a, b := members[k], members[k+1]
-				emit(a, b, d.m[a*n+b])
+				if v := d.m[a*n+b]; a != 0 || v != LEZero {
+					buf = append(buf, Constraint{uint16(a), uint16(b), v})
+				}
 			}
 			last, first := members[len(members)-1], members[0]
-			emit(last, first, d.m[last*n+first])
+			if v := d.m[last*n+first]; last != 0 || v != LEZero {
+				buf = append(buf, Constraint{uint16(last), uint16(first), v})
+			}
 		}
 	}
 
 	// Phase 2: redundancy elimination on the representative quotient graph.
+	// Iterating a collected representative list (ascending, so the emission
+	// order matches the straight n³ scan exactly) keeps the triple loop at
+	// r³ for r classes instead of n³ with skip branches.
+	reps := members[:0]
 	for i := 0; i < n; i++ {
-		if rep[i] != i {
-			continue
+		if rep[i] == i {
+			reps = append(reps, i)
 		}
-		for j := 0; j < n; j++ {
-			if j == i || rep[j] != j {
+	}
+	for _, i := range reps {
+		rowI := d.m[i*n : i*n+n]
+		for _, j := range reps {
+			if j == i {
 				continue
 			}
-			b := d.m[i*n+j]
+			b := rowI[j]
 			if b == Infinity {
 				continue
 			}
 			redundant := false
-			for k := 0; k < n; k++ {
-				if k == i || k == j || rep[k] != k {
+			for _, k := range reps {
+				if k == i || k == j {
 					continue
 				}
-				dik := d.m[i*n+k]
+				dik := rowI[k]
 				if dik == Infinity {
 					continue
 				}
@@ -128,11 +187,14 @@ func (d *DBM) Minimal() *Compact {
 					break
 				}
 			}
-			if !redundant {
-				emit(i, j, b)
+			if !redundant && (i != 0 || b != LEZero) {
+				buf = append(buf, Constraint{uint16(i), uint16(j), b})
 			}
 		}
 	}
+	r.buf = buf // keep any growth for the next call
+	cs := make([]Constraint, len(buf))
+	copy(cs, buf)
 	return &Compact{n: n, cs: cs}
 }
 
@@ -147,6 +209,14 @@ func (c *Compact) Inflate() *DBM {
 // InflateInto overwrites d (which must have the compact form's dimension)
 // with the reconstructed canonical zone and reports whether it is non-empty.
 // It is the allocation-free variant of Inflate for scratch-buffer reuse.
+//
+// Re-canonicalization runs the pivot-restricted closure instead of the full
+// O(n³) Close: in the constraint graph just built, the only vertices with
+// outgoing finite edges are clock 0 (the base edges 0→j of New) and the
+// source clocks of the stored constraints, so restricting the
+// Floyd–Warshall pivots to that set is exact (see closePivots) and the cost
+// drops to O(k·n²) for k distinct sources. This is the compact store's
+// per-pop hot path.
 func (c *Compact) InflateInto(d *DBM) bool {
 	n := c.n
 	if d.n != n {
@@ -154,21 +224,38 @@ func (c *Compact) InflateInto(d *DBM) bool {
 	}
 	// Reset to the universal base zone (see New).
 	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if i == j || i == 0 {
-				d.m[i*n+j] = LEZero
-			} else {
-				d.m[i*n+j] = Infinity
+		row := d.m[i*n : i*n+n]
+		if i == 0 {
+			for j := range row {
+				row[j] = LEZero
 			}
+			continue
 		}
+		for j := range row {
+			row[j] = Infinity
+		}
+		row[i] = LEZero
 	}
+	pivots := uint64(1) // clock 0 always has outgoing base edges
 	for _, cc := range c.cs {
 		at := int(cc.I)*n + int(cc.J)
 		if cc.B < d.m[at] {
 			d.m[at] = cc.B
 		}
+		pivots |= 1 << uint(cc.I)
 	}
-	return d.Close()
+	if n > 64 || partialDisabled.Load() {
+		return d.Close()
+	}
+	if partialCheck.Load() {
+		ref := d.Clone()
+		ok := d.closePivots(pivots)
+		if ref.Close() != ok || (ok && !d.Equal(ref)) {
+			panic("dbm: pivot-restricted close diverges from full Close in InflateInto")
+		}
+		return ok
+	}
+	return d.closePivots(pivots)
 }
 
 // IncludesDBM reports whether the compact zone is a superset of (or equal
@@ -202,23 +289,117 @@ func (c *Compact) IncludesDBM(o *DBM) bool {
 // the canonical DBM d — the eviction direction of the passed-list
 // subsumption test. Unlike IncludesDBM this direction cannot be decided
 // from the stored constraints alone (the compact form leaves unbounded
-// differences implicit, and d may bound them), so after an O(constraints)
-// necessary check it falls back to inflating into the caller-provided
-// scratch DBM. The fast check is exact in the failing direction because
-// stored minimal constraints equal the closed entries at their positions.
+// differences implicit, and d may bound them). After an O(constraints)
+// necessary check — exact in the failing direction because stored minimal
+// constraints equal the closed entries at their positions — the test
+// reconstructs only the PIVOT rows of the zone's closure in the
+// caller-provided scratch DBM: rows whose clock sources no stored
+// constraint have no finite out-edges in the constraint graph, so their
+// closed entries are all Infinity and the subset condition there reduces
+// to requiring the same of d. The scratch DBM's non-pivot rows are left
+// untouched (garbage); it must never be read as a whole zone.
 func (c *Compact) SubsetOfDBM(d *DBM, scratch *DBM) bool {
-	if c.n != d.n {
+	n := c.n
+	if n != d.n {
 		panic("dbm: dimension mismatch in SubsetOfDBM")
 	}
 	for _, cc := range c.cs {
-		if cc.B > d.m[int(cc.I)*c.n+int(cc.J)] {
+		if cc.B > d.m[int(cc.I)*n+int(cc.J)] {
 			return false
 		}
 	}
-	if !c.InflateInto(scratch) {
-		return true // empty zone is a subset of everything
+	if n > 64 || partialDisabled.Load() {
+		if !c.InflateInto(scratch) {
+			return true // empty zone is a subset of everything
+		}
+		return d.Includes(scratch)
 	}
-	return d.Includes(scratch)
+	mask := uint64(1)
+	for _, cc := range c.cs {
+		mask |= 1 << uint(cc.I)
+	}
+	// Non-pivot rows close to all-Infinity: subset requires d unbounded
+	// there too. The pivot list collected alongside drives the remaining
+	// loops directly, instead of re-testing the mask at every level.
+	var pbuf [64]int32
+	plist := pbuf[:0]
+	plist = append(plist, 0)
+	for i := 1; i < n; i++ {
+		if mask&(1<<uint(i)) != 0 {
+			plist = append(plist, int32(i))
+			continue
+		}
+		row := d.m[i*n : i*n+n]
+		for j, b := range row {
+			if j != i && b != Infinity {
+				return false
+			}
+		}
+	}
+	// Build the pivot rows of the closure in scratch (base zone + stored
+	// constraints, then Floyd–Warshall restricted to pivot intermediates —
+	// exact as in closePivots; every read and write stays within pivot rows).
+	for _, i32 := range plist {
+		i := int(i32)
+		row := scratch.m[i*n : i*n+n]
+		if i == 0 {
+			for j := range row {
+				row[j] = LEZero
+			}
+			continue
+		}
+		for j := range row {
+			row[j] = Infinity
+		}
+		row[i] = LEZero
+	}
+	for _, cc := range c.cs {
+		at := int(cc.I)*n + int(cc.J)
+		if cc.B < scratch.m[at] {
+			scratch.m[at] = cc.B
+		}
+	}
+	if scratch.m[0] < LEZero {
+		return true // the empty-zone sentinel: subset of everything
+	}
+	for _, k32 := range plist {
+		k := int(k32)
+		rowK := scratch.m[k*n : k*n+n]
+		for _, i32 := range plist {
+			i := int(i32)
+			if i == k {
+				continue
+			}
+			sik := scratch.m[i*n+k]
+			if sik == Infinity {
+				continue
+			}
+			rowI := scratch.m[i*n : i*n+n]
+			for j, bkj := range rowK {
+				if bkj == Infinity {
+					continue
+				}
+				if s := Add(sik, bkj); s < rowI[j] {
+					rowI[j] = s
+				}
+			}
+		}
+		for _, i32 := range plist {
+			if scratch.m[int(i32)*(n+1)] < LEZero {
+				return true // zone empties: subset of everything
+			}
+		}
+	}
+	for _, i32 := range plist {
+		i := int(i32)
+		row, drow := scratch.m[i*n:i*n+n], d.m[i*n:i*n+n]
+		for j, b := range row {
+			if drow[j] < b {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // Equal reports whether two compact forms are identical. Because the

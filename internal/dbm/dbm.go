@@ -287,7 +287,10 @@ func (d *DBM) ExtrapolateMaxBounds(max []int32) bool {
 	if len(max) != n {
 		panic("dbm: max bounds length mismatch")
 	}
-	changed := false
+	// Every rewrite below RAISES (loosens) an entry, and the raises are
+	// confined to the rows recorded in s, which is what lets closeRaised
+	// re-canonicalize partially instead of running the full O(n³) Close.
+	s := getRaiseScratch(n)
 	for i := 1; i < n; i++ {
 		for j := 0; j < n; j++ {
 			if i == j {
@@ -300,10 +303,10 @@ func (d *DBM) ExtrapolateMaxBounds(max []int32) bool {
 			switch {
 			case max[i] < 0 || (b != Infinity && int64(b.Value()) > int64(max[i])):
 				d.m[i*n+j] = Infinity
-				changed = true
+				s.mark(i)
 			case max[j] >= 0 && int64(b.Value()) < int64(-max[j]):
 				d.m[i*n+j] = LT(-max[j])
-				changed = true
+				s.mark(i)
 			}
 		}
 	}
@@ -315,15 +318,17 @@ func (d *DBM) ExtrapolateMaxBounds(max []int32) bool {
 		}
 		if max[j] >= 0 && int64(b.Value()) < int64(-max[j]) {
 			d.m[j] = LT(-max[j])
-			changed = true
+			s.mark(0)
 		} else if max[j] < 0 && b < LEZero {
 			d.m[j] = LEZero
-			changed = true
+			s.mark(0)
 		}
 	}
-	if changed {
-		return d.Close()
+	if len(s.rows) == 0 {
+		putRaiseScratch(s)
+		return true
 	}
+	d.closeRaised(s)
 	return true
 }
 
@@ -345,11 +350,15 @@ func (d *DBM) ExtrapolateLU(lower, upper []int32) bool {
 	if len(lower) != n || len(upper) != n {
 		panic("dbm: LU bounds length mismatch")
 	}
-	changed := false
+	// Extra-LU+ only loosens entries (the row-0 rewrites replace a bound
+	// known to be strictly tighter; see zoneLBExceeds), so the same
+	// raise-confined partial re-canonicalization as in ExtrapolateMaxBounds
+	// applies.
+	s := getRaiseScratch(n)
 	raise := func(i, j int, b Bound) {
 		if d.m[i*n+j] != b {
 			d.m[i*n+j] = b
-			changed = true
+			s.mark(i)
 		}
 	}
 	for i := 1; i < n; i++ {
@@ -383,9 +392,11 @@ func (d *DBM) ExtrapolateLU(lower, upper []int32) bool {
 			}
 		}
 	}
-	if changed {
-		return d.Close()
+	if len(s.rows) == 0 {
+		putRaiseScratch(s)
+		return true
 	}
+	d.closeRaised(s)
 	return true
 }
 

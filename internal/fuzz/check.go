@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"guidedta/internal/dbm"
 	"guidedta/internal/mc"
 	"guidedta/internal/ta"
 )
@@ -21,14 +22,26 @@ type Config struct {
 	// non-exact ones (bit-state hashing) are under-approximations that may
 	// miss goals but must never invent them.
 	Exact bool
+	// Setup/Teardown bracket the config's run for configurations that flip
+	// a package-global engine mode (the dbm lazy-canonicalization toggles).
+	// The harness runs configs strictly one at a time, so a global flip
+	// cannot leak into a concurrently running config; Teardown always runs,
+	// even when the search errors.
+	Setup    func()
+	Teardown func()
 }
 
 // Configs returns the cross-check matrix: a curated sweep of the exact
-// engine configurations — search order × inclusion × compact store ×
-// extrapolation flavor × active clocks × parallelism — plus the BestTime
-// order (exact; timeClock names the generator's never-reset global clock)
-// and the two bit-state under-approximations. maxStates bounds every
-// search so a generator miss cannot hang a campaign.
+// engine configurations — search order × inclusion × compact vs full-DBM
+// store × extrapolation flavor × active clocks × parallelism — plus the
+// BestTime order (exact; timeClock names the generator's never-reset
+// global clock) and the two bit-state under-approximations. Since the
+// compact store became the engine default, the bare bfs/dfs configs
+// exercise it and the -full variants pin the full-DBM store; two extra
+// compact configs flip the dbm lazy-canonicalization globals — full-Close
+// fallback (partial close disabled) and the shadow-check assertion mode,
+// which panics on any partial-vs-full divergence mid-campaign. maxStates
+// bounds every search so a generator miss cannot hang a campaign.
 func Configs(maxStates, timeClock int) []Config {
 	mk := func(name string, exact bool, tweak func(*mc.Options)) Config {
 		o := mc.DefaultOptions(mc.BFS)
@@ -36,24 +49,32 @@ func Configs(maxStates, timeClock int) []Config {
 		tweak(&o)
 		return Config{Name: name, Opts: o, Exact: exact}
 	}
+	fullClose := mk("bfs-fullclose", true, func(o *mc.Options) {})
+	fullClose.Setup = func() { dbm.SetPartialClose(false) }
+	fullClose.Teardown = func() { dbm.SetPartialClose(true) }
+	closeCheck := mk("bfs-closecheck", true, func(o *mc.Options) {})
+	closeCheck.Setup = func() { dbm.SetPartialCloseCheck(true) }
+	closeCheck.Teardown = func() { dbm.SetPartialCloseCheck(false) }
 	cfgs := []Config{
 		mk("bfs", true, func(o *mc.Options) {}),
 		mk("dfs", true, func(o *mc.Options) { o.Search = mc.DFS }),
+		mk("bfs-full", true, func(o *mc.Options) { o.Compact = false }),
+		mk("dfs-full", true, func(o *mc.Options) { o.Search = mc.DFS; o.Compact = false }),
 		mk("bfs-noincl", true, func(o *mc.Options) { o.Inclusion = false }),
 		mk("dfs-noincl", true, func(o *mc.Options) { o.Search = mc.DFS; o.Inclusion = false }),
-		mk("bfs-compact", true, func(o *mc.Options) { o.Compact = true }),
-		mk("dfs-compact", true, func(o *mc.Options) { o.Search = mc.DFS; o.Compact = true }),
 		mk("bfs-classic", true, func(o *mc.Options) { o.ClassicExtrapolation = true }),
 		mk("dfs-classic", true, func(o *mc.Options) { o.Search = mc.DFS; o.ClassicExtrapolation = true }),
 		mk("bfs-noactive", true, func(o *mc.Options) { o.ActiveClocks = false }),
 		mk("bfs-par4", true, func(o *mc.Options) { o.Workers = 4 }),
 		mk("dfs-par4", true, func(o *mc.Options) { o.Search = mc.DFS; o.Workers = 4 }),
-		mk("bfs-compact-par4", true, func(o *mc.Options) { o.Compact = true; o.Workers = 4 }),
-		mk("dfs-compact-noincl", true, func(o *mc.Options) {
+		mk("bfs-full-par4", true, func(o *mc.Options) { o.Compact = false; o.Workers = 4 }),
+		mk("dfs-full-noincl", true, func(o *mc.Options) {
 			o.Search = mc.DFS
-			o.Compact = true
+			o.Compact = false
 			o.Inclusion = false
 		}),
+		fullClose,
+		closeCheck,
 		mk("bsh", false, func(o *mc.Options) { o.Search = mc.BSH }),
 		mk("bsh-coarse", false, func(o *mc.Options) { o.Search = mc.BSH; o.CoarseHash = true }),
 	}
@@ -143,8 +164,17 @@ func (h *Harness) CheckModel(caseNo int, sys *ta.System, goal mc.Goal) []*Proble
 	var problems []*Problem
 	var exactVerdict *bool
 	var exactName string
+	stats := make(map[string]mc.Stats)
 	for _, cfg := range Configs(h.maxStates(), timeClock) {
-		res, err := h.explore()(sys, goal, cfg.Opts)
+		res, err := func() (mc.Result, error) {
+			if cfg.Setup != nil {
+				cfg.Setup()
+			}
+			if cfg.Teardown != nil {
+				defer cfg.Teardown()
+			}
+			return h.explore()(sys, goal, cfg.Opts)
+		}()
 		if err != nil {
 			problems = append(problems, &Problem{
 				Kind: "error", Case: caseNo, Config: cfg.Name,
@@ -162,6 +192,7 @@ func (h *Harness) CheckModel(caseNo int, sys *ta.System, goal mc.Goal) []*Proble
 			continue
 		}
 		if cfg.Exact {
+			stats[cfg.Name] = res.Stats
 			if exactVerdict == nil {
 				v := res.Found
 				exactVerdict = &v
@@ -185,6 +216,30 @@ func (h *Harness) CheckModel(caseNo int, sys *ta.System, goal mc.Goal) []*Proble
 					Detail: err.Error(),
 				})
 			}
+		}
+	}
+	// Effort parity: the compact store promises bit-identical subsumption
+	// decisions, so every sequential inclusion-on BFS/DFS store variant must
+	// explore, store, and evict exactly as the full-DBM baseline does —
+	// verdict agreement alone would miss an eviction-gate bug whose wrong
+	// decisions happen not to change the answer.
+	for _, pair := range [][2]string{
+		{"bfs-full", "bfs"}, {"bfs-full", "bfs-fullclose"}, {"bfs-full", "bfs-closecheck"},
+		{"dfs-full", "dfs"},
+	} {
+		ref, okRef := stats[pair[0]]
+		got, okGot := stats[pair[1]]
+		if !okRef || !okGot {
+			continue // one of the two aborted or errored; reported above
+		}
+		if ref.StatesExplored != got.StatesExplored || ref.StatesStored != got.StatesStored ||
+			ref.Evictions != got.Evictions {
+			problems = append(problems, &Problem{
+				Kind: "divergence", Case: caseNo, Config: pair[1],
+				Detail: fmt.Sprintf("effort diverges from %s: explored %d/%d stored %d/%d evictions %d/%d",
+					pair[0], got.StatesExplored, ref.StatesExplored,
+					got.StatesStored, ref.StatesStored, got.Evictions, ref.Evictions),
+			})
 		}
 	}
 	return problems

@@ -44,6 +44,7 @@ func TestCompactMatchesDefaultExactly(t *testing.T) {
 					sys, goal := m.build(t)
 					opts := mc.DefaultOptions(order)
 					opts.Inclusion = inclusion
+					opts.Compact = false // explicit: Compact is the default now
 					def, err := mc.Explore(sys, goal, opts)
 					if err != nil {
 						t.Fatal(err)
@@ -128,6 +129,10 @@ func TestCompactPlantSchedules(t *testing.T) {
 		{plant.AllGuides, 2, mc.DFS},
 		{plant.AllGuides, 2, mc.BFS},
 		{plant.SomeGuides, 2, mc.DFS},
+		// 3 batches reaches zone dimensions where the store's RowMask
+		// eviction gate and the pivot-restricted closures actually bite; the
+		// stats parity check below pinned a gate bug at this size.
+		{plant.AllGuides, 3, mc.DFS},
 	}
 	for _, c := range cases {
 		t.Run(fmt.Sprintf("%vGuides/%v/batches=%d", c.guides, c.order, c.batches), func(t *testing.T) {
@@ -153,6 +158,13 @@ func TestCompactPlantSchedules(t *testing.T) {
 			}
 			if !reflect.DeepEqual(cmp.Trace, def.Trace) {
 				t.Fatal("compact store changed the synthesized trace")
+			}
+			if cmp.Stats.StatesExplored != def.Stats.StatesExplored ||
+				cmp.Stats.StatesStored != def.Stats.StatesStored ||
+				cmp.Stats.Evictions != def.Stats.Evictions {
+				t.Fatalf("search effort diverged: compact explored=%d stored=%d evicted=%d, default explored=%d stored=%d evicted=%d",
+					cmp.Stats.StatesExplored, cmp.Stats.StatesStored, cmp.Stats.Evictions,
+					def.Stats.StatesExplored, def.Stats.StatesStored, def.Stats.Evictions)
 			}
 			defSched := scheduleOf(t, p, def)
 			cmpSched := scheduleOf(t, p, cmp)

@@ -124,15 +124,27 @@ type engineCtx struct {
 
 	// freeZones recycles DBMs of successor candidates that turned out
 	// empty, subsumed, or duplicate, so fire's per-successor Clone stops
-	// dominating allocation.
+	// dominating allocation. Free-list misses are served from the arena:
+	// chunked, per-worker allocation that neither contends with other
+	// workers nor hands the GC one small object per zone.
 	freeZones []*dbm.DBM
+	arena     *dbm.Arena
+
+	// freeNodes recycles the node structs (and their locs/env backing
+	// arrays) of successor candidates that were rejected before anything —
+	// store, frontier, or a child's parent pointer — could reference them.
+	freeNodes []*node
 
 	// keyBuf is the discrete-key scratch buffer.
 	keyBuf []byte
 }
 
-// maxFreeZones bounds the per-worker zone free-list.
-const maxFreeZones = 512
+// maxFreeZones bounds the per-worker zone free-list; maxFreeNodes the node
+// free-list.
+const (
+	maxFreeZones = 512
+	maxFreeNodes = 512
+)
 
 // syncCand is an automaton/edge pair that can synchronize on a channel.
 type syncCand struct{ ai, ei int }
@@ -186,7 +198,7 @@ func newEngine(ctx context.Context, sys *ta.System, opts Options) (*engine, erro
 
 // newCtx creates a fresh worker context for this engine.
 func (en *engine) newCtx() *engineCtx {
-	ctx := &engineCtx{en: en}
+	ctx := &engineCtx{en: en, arena: dbm.NewArena(en.nClocks)}
 	if en.opts.ActiveClocks {
 		ctx.scratchAct = make([]uint64, en.bitWords)
 	}
@@ -249,15 +261,17 @@ func (en *engine) computeActiveSets() {
 }
 
 // cloneZone returns a copy of src, recycling a free-listed DBM when one is
-// available.
+// available and carving a fresh one out of the worker's arena otherwise.
 func (c *engineCtx) cloneZone(src *dbm.DBM) *dbm.DBM {
+	var z *dbm.DBM
 	if k := len(c.freeZones); k > 0 {
-		z := c.freeZones[k-1]
+		z = c.freeZones[k-1]
 		c.freeZones = c.freeZones[:k-1]
-		z.CopyFrom(src)
-		return z
+	} else {
+		z = c.arena.Get()
 	}
-	return src.Clone()
+	z.CopyFrom(src)
+	return z
 }
 
 // freeZone returns a zone to the free-list. Only zones that are provably
@@ -275,21 +289,57 @@ func (c *engineCtx) freeZone(z *dbm.DBM) {
 // so searches that park waiting nodes without their matrices behave
 // bit-identically to ones that keep them.
 func (c *engineCtx) inflateZone(cz *dbm.Compact) *dbm.DBM {
+	var z *dbm.DBM
 	if k := len(c.freeZones); k > 0 {
-		z := c.freeZones[k-1]
+		z = c.freeZones[k-1]
 		c.freeZones = c.freeZones[:k-1]
-		cz.InflateInto(z)
-		return z
+	} else {
+		z = c.arena.Get()
 	}
-	return cz.Inflate()
+	cz.InflateInto(z)
+	return z
 }
 
-// releaseNode recycles the zone of a dropped successor candidate. The node
-// itself is left to the garbage collector.
+// releaseNode recycles the zone of a node that no longer needs its matrix.
+// The node struct itself stays live (it may sit in the store, on the
+// frontier, or serve as a parent pointer in the search tree).
 func (c *engineCtx) releaseNode(n *node) {
 	if n.zone != nil {
 		c.freeZone(n.zone)
 		n.zone = nil
+	}
+}
+
+// takeNode returns a node struct for a successor candidate, reusing a
+// recycled one (and its locs/env backing arrays) when available. The caller
+// must overwrite every field; recycleNode has already cleared the reference
+// fields and the subsumed flag.
+func (c *engineCtx) takeNode() *node {
+	if k := len(c.freeNodes); k > 0 {
+		n := c.freeNodes[k-1]
+		c.freeNodes = c.freeNodes[:k-1]
+		return n
+	}
+	return &node{}
+}
+
+// recycleNode recycles both the zone and the struct of a node that is
+// provably unreferenced: a successor candidate rejected before it was
+// stored or pushed, or a subsumption-evicted node just popped from the
+// frontier (evicted nodes were never expanded, so nothing holds a parent
+// pointer to them, and the store dropped its reference when it marked
+// them). Published nodes must use releaseNode instead — their structs stay
+// reachable through the store, the frontier, or their children.
+func (c *engineCtx) recycleNode(n *node) {
+	if n.zone != nil {
+		c.freeZone(n.zone)
+		n.zone = nil
+	}
+	if len(c.freeNodes) < maxFreeNodes {
+		n.parent = nil
+		n.czone = nil
+		n.subsumed.Store(false)
+		c.freeNodes = append(c.freeNodes, n)
 	}
 }
 
@@ -467,20 +517,20 @@ func (c *engineCtx) fire(n *node, t Transition) *node {
 		}
 	}
 
-	env := make([]int32, len(n.env))
-	copy(env, n.env)
+	s := c.takeNode()
+	env := append(s.env[:0], n.env...)
 	// UPPAAL evaluates the sender's update before the receiver's.
 	expr.ExecAll(e1.Assigns, env)
 	if e2 != nil {
 		expr.ExecAll(e2.Assigns, env)
 	}
 
-	locs := make([]int32, len(n.locs))
-	copy(locs, n.locs)
+	locs := append(s.locs[:0], n.locs...)
 	locs[t.A1] = int32(e1.Dst)
 	if e2 != nil {
 		locs[t.A2] = int32(e2.Dst)
 	}
+	s.locs, s.env = locs, env
 
 	for _, r := range e1.Resets {
 		z.Reset(r.Clock, r.Value)
@@ -493,9 +543,14 @@ func (c *engineCtx) fire(n *node, t Transition) *node {
 
 	if !c.finishZone(locs, env, z) {
 		c.freeZone(z)
+		c.recycleNode(s)
 		return nil
 	}
-	return &node{locs: locs, env: env, zone: z, parent: n, via: t, depth: n.depth + 1}
+	s.zone = z
+	s.parent = n
+	s.via = t
+	s.depth = n.depth + 1
+	return s
 }
 
 // successors enumerates all enabled transitions of n and yields the

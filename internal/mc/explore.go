@@ -175,8 +175,9 @@ func exploreSeq(en *engine, goal Goal) (Result, error) {
 		waitingBytes -= waitingCost(n)
 		if n.subsumed.Load() {
 			// A larger zone took over this discrete state; the store has
-			// already dropped the node, so its zone is free to recycle.
-			ctx.releaseNode(n)
+			// already dropped the node and it was never expanded, so both
+			// the zone and the struct are free to recycle.
+			ctx.recycleNode(n)
 			continue
 		}
 		if n.zone == nil && n.czone != nil {
@@ -203,11 +204,11 @@ func exploreSeq(en *engine, goal Goal) (Result, error) {
 				st.ByAutomaton[s.via.A1]++
 			}
 			if found != nil {
-				ctx.releaseNode(s)
+				ctx.recycleNode(s)
 				return
 			}
 			if !store.add(ctx.stateKey(s), s) {
-				ctx.releaseNode(s)
+				ctx.recycleNode(s)
 				return
 			}
 			if !goal.Deadlock && goal.Satisfied(s.locs, s.env) {

@@ -69,12 +69,18 @@ type Options struct {
 	// O(n²) matrix. A state's full DBM exists only while the state is being
 	// expanded — it is recycled the moment the state is parked on the
 	// frontier and rebuilt, exactly, from the minimal form when the state is
-	// popped. Subsumption decisions are bit-identical to the default store,
+	// popped. Subsumption decisions are bit-identical to the full-DBM store,
 	// so verdicts, traces, and schedules do not change — only the memory
 	// profile does (and the CPU profile: one reduction per stored state and
 	// one re-closure per expanded state). Applies to the BFS, DFS, and
 	// BestTime orders, sequential and parallel; BSH already stores only
 	// hash bits and ignores this option.
+	//
+	// On by default (DefaultOptions) since the compact hot path stopped
+	// round-tripping through full canonicalization: it cuts passed-store
+	// bytes 1.2–12.8× on the tracked benchmarks at a wall-time cost that is
+	// small on the zone-heavy plant instances (see BENCH_mc.json). Set it
+	// to false to keep every stored zone as a full matrix.
 	Compact bool
 	// Extrapolate enables extrapolation (on by default; required for
 	// termination on models with unbounded clocks). Diagonal-free models
@@ -140,6 +146,7 @@ func DefaultOptions(search SearchOrder) Options {
 		Search:       search,
 		HashBits:     22,
 		Inclusion:    true,
+		Compact:      true,
 		Extrapolate:  true,
 		ActiveClocks: true,
 	}

@@ -327,8 +327,10 @@ func (ps *parSearch) trySteal(id int) *node {
 // successor buffer.
 func (ps *parSearch) expand(ctx *engineCtx, id int, w *parWorker, my *deque, n *node, succBuf []*node) []*node {
 	if n.subsumed.Load() {
-		// The store already evicted this node; recycle its zone locally.
-		ctx.releaseNode(n)
+		// The store already evicted this node and it was never expanded:
+		// zone and struct both recycle locally (the store's last touch of
+		// the node happens-before the subsumed flag it just loaded).
+		ctx.recycleNode(n)
 		ps.pending.Add(-1)
 		return succBuf
 	}
@@ -389,12 +391,12 @@ func (ps *parSearch) expand(ctx *engineCtx, id int, w *parWorker, my *deque, n *
 			w.byAutomaton[s.via.A1]++
 		}
 		if ps.stop.Load() {
-			ctx.releaseNode(s)
+			ctx.recycleNode(s)
 			return
 		}
 		ctx.keyBuf = discreteKey(ctx.keyBuf[:0], s.locs, s.env)
 		if !ps.store.add(ctx.keyBuf, s) {
-			ctx.releaseNode(s)
+			ctx.recycleNode(s)
 			return
 		}
 		if !ps.goal.Deadlock && ps.goal.Satisfied(s.locs, s.env) {

@@ -75,11 +75,12 @@ func newMapStore(inclusion bool) *mapStore {
 // subsumes are evicted (and marked, so the frontier drops them) to keep
 // only maximal zones.
 //
-// The in-place antichain compaction below is safe against the early return:
-// "some old includes new" and "new strictly includes some other old" cannot
-// both hold, because the antichain invariant would make those two old zones
-// comparable; so when the scan returns early, no eviction has shifted any
-// entry yet.
+// The scan is two-pass: rejection first, eviction only for survivors. The
+// split changes nothing — "some old includes new" and "new strictly includes
+// some other old" cannot both hold, because the antichain invariant would
+// make those two old zones comparable — but it keeps the eviction-direction
+// inclusion test entirely off the hot rejection path, where most candidates
+// die. compactStore.add relies on the same argument.
 func (p *mapStore) add(key []byte, n *node) bool {
 	b := p.byKey[string(key)] // compiler-optimized: no key allocation
 	if b == nil {
@@ -88,16 +89,21 @@ func (p *mapStore) add(key []byte, n *node) bool {
 		p.bytes += int64(len(key)) + bucketOverhead
 	}
 	if p.inclusion {
-		kept := b.nodes[:0]
 		for _, old := range b.nodes {
 			if old.zone.Includes(n.zone) {
 				return false
 			}
+		}
+		kept := b.nodes[:0]
+		for _, old := range b.nodes {
 			if n.zone.Includes(old.zone) {
-				old.subsumed.Store(true)
+				// All reads of the evicted node precede the subsumed flag:
+				// the atomic store is the release point after which the
+				// popping worker may recycle the node and its zone.
 				p.count--
 				p.bytes -= old.memBytes()
 				p.evictions++
+				old.subsumed.Store(true)
 				continue
 			}
 			kept = append(kept, old)
@@ -143,7 +149,8 @@ type compactStore struct {
 	bytes       int64
 	evictions   int64
 	constraints int64
-	scratch     *dbm.DBM // eviction-direction inflate buffer, lazily sized
+	scratch     *dbm.DBM    // eviction-direction inflate buffer, lazily sized
+	red         dbm.Reducer // scratch-backed Minimal, one exact-size alloc per insert
 }
 
 // compactBucket is the per-discrete-state antichain of compact zones.
@@ -157,6 +164,9 @@ type compactBucket struct {
 type compactEntry struct {
 	z *dbm.Compact
 	n *node
+	// rows caches z.RowMask(), the necessary condition gating the
+	// eviction-direction inclusion test (see compactStore.add).
+	rows uint64
 }
 
 func newCompactStore(inclusion bool) *compactStore {
@@ -166,10 +176,16 @@ func newCompactStore(inclusion bool) *compactStore {
 // compactEntryOverhead is the accounted per-entry struct overhead.
 const compactEntryOverhead = 24
 
-// add mirrors mapStore.add (same antichain semantics and scan order, hence
-// identical search behavior), operating on compact zones. The expensive
-// Minimal() reduction runs only for states that are actually inserted; the
-// hot rejection path costs O(constraints) per stored entry.
+// add mirrors mapStore.add (same two-pass antichain semantics, hence
+// identical search behavior), operating on compact zones. The hot rejection
+// path costs O(constraints) per stored entry and nothing else: the Minimal()
+// reduction and the eviction scan run only for states that survive it (by
+// the antichain argument on mapStore.add, rejected candidates never evict).
+// In the eviction pass, RowMask inclusion is a necessary condition for
+// old ⊆ new — every constraint of Minimal(new) must be matched by a finite
+// closure entry of old, which needs old to store an edge out of its source
+// row (see Compact.RowMask for why no column analogue exists) — so the
+// expensive inclusion test runs only when the masks allow a subset.
 func (p *compactStore) add(key []byte, n *node) bool {
 	b := p.byKey[string(key)]
 	if b == nil {
@@ -178,33 +194,39 @@ func (p *compactStore) add(key []byte, n *node) bool {
 		p.bytes += int64(len(key)) + bucketOverhead
 	}
 	if p.inclusion {
-		kept := b.entries[:0]
 		for _, old := range b.entries {
 			if old.z.IncludesDBM(n.zone) {
 				return false
 			}
-			if p.subsumesOld(n, old.z) {
-				old.n.subsumed.Store(true)
+		}
+		cn := p.red.Minimal(n.zone)
+		newRows := cn.RowMask()
+		kept := b.entries[:0]
+		for _, old := range b.entries {
+			if newRows&^old.rows == 0 && p.subsumesOld(n, old.z) {
+				// All reads of the evicted node precede the subsumed flag:
+				// the atomic store is the release point after which the
+				// popping worker may recycle the node and its zone.
 				p.count--
 				p.bytes -= entryBytes(old)
 				p.constraints -= int64(old.z.Len())
 				p.evictions++
+				old.n.subsumed.Store(true)
 				continue
 			}
 			kept = append(kept, old)
 		}
 		b.entries = kept
-	} else {
-		cn := n.zone.Minimal()
-		for _, old := range b.entries {
-			if old.z.Equal(cn) {
-				return false
-			}
-		}
 		p.insert(b, cn, n)
 		return true
 	}
-	p.insert(b, n.zone.Minimal(), n)
+	cn := p.red.Minimal(n.zone)
+	for _, old := range b.entries {
+		if old.z.Equal(cn) {
+			return false
+		}
+	}
+	p.insert(b, cn, n)
 	return true
 }
 
@@ -218,7 +240,7 @@ func entryBytes(e compactEntry) int64 {
 
 func (p *compactStore) insert(b *compactBucket, z *dbm.Compact, n *node) {
 	n.czone = z
-	e := compactEntry{z: z, n: n}
+	e := compactEntry{z: z, n: n, rows: z.RowMask()}
 	b.entries = append(b.entries, e)
 	p.count++
 	p.bytes += entryBytes(e)

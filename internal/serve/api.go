@@ -71,11 +71,15 @@ func (p *PlantRequest) resolve() (plant.Config, error) {
 // OptionsRequest is the JSON projection of the client-settable mc.Options,
 // mirroring the cliutil flag block field for field.
 type OptionsRequest struct {
-	Search         string  `json:"search,omitempty"` // bfs, dfs (default), bsh, besttime
-	HashBits       int     `json:"hash_bits,omitempty"`
-	NoInclusion    bool    `json:"no_inclusion,omitempty"`
-	NoActiveClocks bool    `json:"no_active_clocks,omitempty"`
-	Compact        bool    `json:"compact,omitempty"`
+	Search         string `json:"search,omitempty"` // bfs, dfs (default), bsh, besttime
+	HashBits       int    `json:"hash_bits,omitempty"`
+	NoInclusion    bool   `json:"no_inclusion,omitempty"`
+	NoActiveClocks bool   `json:"no_active_clocks,omitempty"`
+	// Compact is a tri-state so absence keeps the engine default (compact
+	// store on): null/omitted = default, false = full-DBM store, true =
+	// compact store. Clients written before the default flip that sent
+	// {"compact": true} keep their meaning.
+	Compact        *bool   `json:"compact,omitempty"`
 	Workers        int     `json:"workers,omitempty"`
 	MaxStates      int     `json:"max_states,omitempty"`
 	MaxMemoryMB    int64   `json:"max_memory_mb,omitempty"`
@@ -97,7 +101,9 @@ func (o OptionsRequest) resolve() (mc.Options, error) {
 	}
 	opts.Inclusion = !o.NoInclusion
 	opts.ActiveClocks = !o.NoActiveClocks
-	opts.Compact = o.Compact
+	if o.Compact != nil {
+		opts.Compact = *o.Compact
+	}
 	opts.Workers = o.Workers
 	opts.MaxStates = o.MaxStates
 	opts.MaxMemory = o.MaxMemoryMB << 20

@@ -22,7 +22,7 @@ func TestCacheKeySplitsOnEveryVerdictField(t *testing.T) {
 		{"HashBits", func(o mc.Options) mc.Options { o.Search = mc.BSH; return o }},
 		{"CoarseHash", func(o mc.Options) mc.Options { o.CoarseHash = true; return o }},
 		{"Inclusion", func(o mc.Options) mc.Options { o.Inclusion = false; return o }},
-		{"Compact", func(o mc.Options) mc.Options { o.Compact = true; return o }},
+		{"Compact", func(o mc.Options) mc.Options { o.Compact = false; return o }},
 		{"Extrapolate", func(o mc.Options) mc.Options { o.Extrapolate = false; return o }},
 		{"Classic", func(o mc.Options) mc.Options { o.ClassicExtrapolation = true; return o }},
 		{"ActiveClocks", func(o mc.Options) mc.Options { o.ActiveClocks = false; return o }},
