@@ -1,0 +1,139 @@
+// Command guidesearch discovers plant guides automatically (internal/guide):
+// instead of running the paper's hand-written guide levels, it searches the
+// portfolio of per-family candidate guides for a minimal set that makes the
+// schedule search tractable, scoring candidates by search effort and
+// cross-checking every found schedule against the unguided model.
+//
+// Examples:
+//
+//	guidesearch -batches 2                         # discover guides for 2 batches
+//	guidesearch -batches 3 -probe-states 25000 -progress
+//	guidesearch -qualities 1,2,3 -seed 7 -evals    # full evaluation log
+//
+// The discovered guide level can then be compared against the hand-written
+// ones with plantsynth (-guides none|some|all).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"guidedta/internal/cliutil"
+	"guidedta/internal/guide"
+	"guidedta/internal/mc"
+	"guidedta/internal/plant"
+)
+
+func main() {
+	var (
+		batches     = flag.Int("batches", 2, "number of batches (production list cycles Q1,Q2,Q3)")
+		qualities   = flag.String("qualities", "", "explicit production list, e.g. 1,2,3,4,5 (overrides -batches)")
+		probeStates = flag.Int("probe-states", 50000, "state cap per oracle probe")
+		maxProbes   = flag.Int("max-probes", 64, "probe budget for the whole search")
+		seed        = flag.Int64("seed", 1, "candidate-order seed (searches are deterministic per seed)")
+		search      = flag.String("search", "dfs", "oracle search order: bfs, dfs, bsh, or besttime")
+		timeout     = flag.Duration("timeout", 0, "overall search wall-clock cap (0 = unlimited)")
+		progress    = flag.Bool("progress", false, "print one line per probe to stderr")
+		evals       = flag.Bool("evals", false, "print every evaluation, not just the summary")
+	)
+	flag.Parse()
+
+	cfg := plant.Config{}
+	if *qualities != "" {
+		for _, part := range strings.Split(*qualities, ",") {
+			q, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				fatal(fmt.Errorf("bad quality %q", part))
+			}
+			cfg.Qualities = append(cfg.Qualities, plant.Quality(q))
+		}
+	} else {
+		cfg.Qualities = plant.CycleQualities(*batches)
+	}
+
+	order, err := mc.ParseSearchOrder(*search)
+	if err != nil {
+		fatal(err)
+	}
+	oracle := mc.DefaultOptions(order)
+
+	opt := guide.Options{
+		Budget: guide.Budget{ProbeStates: *probeStates, MaxProbes: *maxProbes},
+		Seed:   *seed,
+		Oracle: &oracle,
+	}
+	if *progress {
+		opt.Progress = func(p guide.Progress) {
+			switch p.Phase {
+			case "replay":
+				fmt.Fprintf(os.Stderr, "guidesearch: probe %d/%d: %s replayed unguided ok\n",
+					p.Probe, p.Total, p.Guides)
+			default:
+				verdict := "no schedule"
+				if p.Found {
+					verdict = "found"
+				}
+				fmt.Fprintf(os.Stderr, "guidesearch: probe %d/%d: %-40s %s (explored %d, stored %d)\n",
+					p.Probe, p.Total, p.Guides, verdict, p.Explored, p.Stored)
+			}
+		}
+	}
+
+	ctx, stop := cliutil.SignalContext()
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	start := time.Now()
+	res, err := guide.Search(ctx, cfg, opt)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *evals {
+		fmt.Printf("evaluations (%d probes):\n", res.Probes)
+		for _, ev := range res.Evaluations {
+			printEval("  ", ev)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("baseline (no guides):\n")
+	printEval("  ", res.Baseline)
+	fmt.Printf("full portfolio:\n")
+	printEval("  ", res.Full)
+	fmt.Printf("discovered:\n")
+	printEval("  ", res.Best)
+	fmt.Printf("probes: %d, oracle time to first schedule: %s, total wall clock: %s\n",
+		res.Probes, res.TimeToFirst.Round(time.Millisecond), time.Since(start).Round(time.Millisecond))
+	if !res.Best.Found {
+		fmt.Println("no guide set found a schedule within the budget; raise -probe-states or -max-probes")
+		os.Exit(1)
+	}
+}
+
+func printEval(indent string, ev guide.Evaluation) {
+	verdict := "no schedule"
+	switch {
+	case ev.Found && ev.Replayed:
+		verdict = "found, replayed unguided ok"
+	case ev.Found:
+		verdict = "found"
+	case ev.Abort != mc.AbortNone:
+		verdict = fmt.Sprintf("no schedule (capped: %s)", ev.Abort)
+	}
+	fmt.Printf("%s%-40s %s (explored %d, stored %d)\n",
+		indent, ev.Guides.String(), verdict, ev.Explored, ev.Stored)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "guidesearch:", err)
+	os.Exit(1)
+}

@@ -9,13 +9,19 @@
 //
 // Submit a model and wait for the report:
 //
-//	curl -s -XPOST --data @req.json 'http://localhost:8080/jobs?wait=1'
+//	curl -s -XPOST --data @req.json 'http://localhost:8080/v1/jobs?wait=1'
 //
 // where req.json is {"model": "<tadsl source>", "options": {"search":
 // "bfs"}} or {"plant": {"batches": 4}, "options": {"search": "dfs"}}.
-// GET /jobs/{id}/events streams live progress as server-sent events;
-// /status and the mcserve expvar (on /debug/vars with -pprof) expose
-// queue depth, cache hit rate, and per-worker state. SIGINT/SIGTERM
+// Run automatic guide discovery on a plant instance:
+//
+//	curl -s -XPOST 'http://localhost:8080/v1/discover?wait=1' \
+//	  -d '{"plant": {"batches": 2}, "budget": {"probe_states": 25000}, "seed": 1}'
+//
+// GET /v1/jobs/{id}/events streams live progress as server-sent events;
+// /v1/status and the mcserve expvar (on /debug/vars with -pprof) expose
+// queue depth, cache hit rate, and per-worker state. The pre-/v1
+// unversioned routes remain as deprecated aliases. SIGINT/SIGTERM
 // triggers a graceful drain: admission stops, in-flight jobs finish
 // (or are canceled after -drain-timeout), final reports are flushed,
 // and the process exits 0.

@@ -26,10 +26,11 @@ import (
 )
 
 func main() {
+	guides := plant.AllGuides
+	flag.TextVar(&guides, "guides", plant.AllGuides, "guide level: none, some, all")
 	var (
 		batches   = flag.Int("batches", 2, "number of batches (production list cycles Q1,Q2,Q3)")
 		qualities = flag.String("qualities", "", "explicit production list, e.g. 1,2,3,4,5 (overrides -batches)")
-		guides    = flag.String("guides", "all", "guide level: none, some, all")
 		rcxOut    = flag.Bool("rcx", false, "print the synthesized RCX control program")
 		annotated = flag.Bool("annotated", false, "print the schedule with absolute timestamps")
 		gantt     = flag.Bool("gantt", false, "print an ASCII Gantt chart of the schedule")
@@ -39,7 +40,7 @@ func main() {
 	sf := cliutil.AddSearchFlags(flag.CommandLine, mc.DefaultOptions(mc.DFS), "stats")
 	flag.Parse()
 
-	cfg := plant.Config{Guides: parseGuides(*guides)}
+	cfg := plant.Config{Guides: guides}
 	if *qualities != "" {
 		for _, part := range strings.Split(*qualities, ",") {
 			q, err := strconv.Atoi(strings.TrimSpace(part))
@@ -84,7 +85,7 @@ func main() {
 			opts.TimeHorizon = plant.DefaultParams().Deadline * int32(len(cfg.Qualities)+2)
 		}
 	}
-	rep := sf.Instrument("plantsynth", fmt.Sprintf("%d batches, %s guides", len(cfg.Qualities), *guides),
+	rep := sf.Instrument("plantsynth", fmt.Sprintf("%d batches, %s guides", len(cfg.Qualities), guides),
 		&opts, p.Sys, &p.Goal)
 
 	ctx, stop := cliutil.SignalContext()
@@ -119,20 +120,6 @@ func main() {
 		fmt.Printf("\nsynthesized central control program (%d instructions, %d command codes):\n\n",
 			len(res.Program), res.Codec.NumCommands())
 		fmt.Print(res.Program.String())
-	}
-}
-
-func parseGuides(s string) plant.GuideLevel {
-	switch strings.ToLower(s) {
-	case "none":
-		return plant.NoGuides
-	case "some":
-		return plant.SomeGuides
-	case "all":
-		return plant.AllGuides
-	default:
-		fatal(fmt.Errorf("unknown guide level %q", s))
-		return 0
 	}
 }
 

@@ -8,7 +8,6 @@ package cliutil
 
 import (
 	"flag"
-	"fmt"
 	"os"
 	"strings"
 	"time"
@@ -100,20 +99,10 @@ func AddSearchFlags(fs *flag.FlagSet, def mc.Options, omit ...string) *SearchFla
 	return f
 }
 
-// ParseSearch maps a flag value to a search order.
+// ParseSearch maps a flag value to a search order. It is a thin alias of
+// mc.ParseSearchOrder, kept so the flag block stays self-contained.
 func ParseSearch(s string) (mc.SearchOrder, error) {
-	switch strings.ToLower(s) {
-	case "bfs":
-		return mc.BFS, nil
-	case "dfs":
-		return mc.DFS, nil
-	case "bsh":
-		return mc.BSH, nil
-	case "besttime":
-		return mc.BestTime, nil
-	default:
-		return 0, fmt.Errorf("unknown search order %q", s)
-	}
+	return mc.ParseSearchOrder(s)
 }
 
 // Options converts the parsed flag block to engine options (profiling is

@@ -125,16 +125,22 @@ func (b *builder) buildBatch(bi int) {
 		for _, p := range b.liftPoints(c) {
 			e := a.Edge(L.pointLoc(p), L.lifting[c]).
 				Sync(fmt.Sprintf("lift%d_%d", c+1, p), ta.Send)
-			if b.guided {
-				switch p {
-				case PtEntry1, PtExit1:
+			switch p {
+			case PtEntry1, PtExit1:
+				if b.g.Route {
 					e.Guard(offTrackExpr(bi, 1)).Note("guide: lift only when leaving track")
-				case PtEntry2, PtExit2:
+				}
+			case PtEntry2, PtExit2:
+				if b.g.Route {
 					e.Guard(offTrackExpr(bi, 2)).Note("guide: lift only when leaving track")
-				case PtBuffer:
+				}
+			case PtBuffer:
+				if b.g.BufferGate {
 					e.Guard(fmt.Sprintf("next[%d] == cast && holdocc == 0 && castnext == %d", bi, bi)).
 						Note("guide: leave buffer only when it is this ladle's turn and the holding place is free")
 				}
+			}
+			if b.guided {
 				e.Assign(fmt.Sprintf("wantlift[%d] := 0", p))
 			}
 			e.Done()
@@ -169,7 +175,7 @@ func (b *builder) buildBatch(bi int) {
 			if occ := pointOccLValue(p); occ != "" {
 				e.Guard(occ + " == 0").Assign(occ + " := 1")
 			}
-			if b.guided {
+			if b.g.Steer {
 				e.Guard(fmt.Sprintf("cdest%d == %d", c+1, p)).
 					Note("guide: set down only at the programmed destination")
 			}
@@ -190,11 +196,11 @@ func (b *builder) buildBatch(bi int) {
 				if b.guided {
 					arrive.Assign(fmt.Sprintf("wantlift[%d] := (holdocc == 0 ? 1 : 0)", p))
 				}
-				if b.all {
+				if b.g.CastPace {
 					arrive.Assign(fmt.Sprintf("progress[%d] := 1", bi))
 				}
 			case PtHold:
-				if b.all {
+				if b.g.CastPace {
 					arrive.Assign(fmt.Sprintf("progress[%d] := 1", bi))
 				}
 			case PtStore:
@@ -215,7 +221,7 @@ func (b *builder) buildBatch(bi int) {
 		start.Assign("wantlift[4] := bufocc").
 			Note("guide: flag a buffered batch once the holding place frees")
 	}
-	if b.all && bi < b.n-1 {
+	if b.g.CastPace && bi < b.n-1 {
 		// Casting must be continuous: commit to a cast only when the next
 		// ladle of the production list is already staged in the buffer (or
 		// holding) area, three time units from the holding place.
@@ -267,10 +273,10 @@ func (b *builder) buildMove(a *ta.Automaton, ai, bi int, L *batchLocs, tr, from,
 	if m := MachineAtSlot(tr, from); m != 0 {
 		claim.Assign(fmt.Sprintf("atm[%d] := 0", bi))
 	}
-	if b.guided {
-		if from == SlotLoad || from == SlotExit {
-			claim.Assign(fmt.Sprintf("wantlift[%d] := 0", b.slotPoint(tr, from)))
-		}
+	if b.guided && (from == SlotLoad || from == SlotExit) {
+		claim.Assign(fmt.Sprintf("wantlift[%d] := 0", b.slotPoint(tr, from)))
+	}
+	if b.g.Route {
 		claim.Guard(b.moveGuard(bi, tr, from, to)).Note("guide: move only along the direct route")
 	}
 	ei := claim.Done()

@@ -105,15 +105,17 @@ func (b *builder) buildCraneMove(a *ta.Automaton, ai, ci int, locs []int, from, 
 		Guard(fmt.Sprintf("cpos[%d] == 0", to)).
 		Assign(fmt.Sprintf("cpos[%d] := 1", to)).
 		Reset(x)
-	if b.guided {
-		if loaded {
+	if loaded {
+		if b.g.Steer {
 			cmp := ">"
 			if to < from {
 				cmp = "<"
 			}
 			claim.Guard(fmt.Sprintf("cdest%d %s %d", c, cmp, from)).
 				Note("guide: loaded crane moves only toward its destination")
-		} else if ci == 0 && from == PtBuffer && to < from {
+		}
+	} else if b.g.Demand {
+		if ci == 0 && from == PtBuffer && to < from {
 			// Crane 1 may always vacate the shared buffer point leftward;
 			// otherwise it would park there after a drop and lock crane 2
 			// out of the buffer.

@@ -1,0 +1,134 @@
+package plant
+
+import (
+	"fmt"
+
+	"guidedta/internal/mc"
+	"guidedta/internal/ta"
+)
+
+// MapTrace re-indexes a transition trace of one plant model onto another
+// build of the same instance (typically: a guided build onto the unguided
+// one, for the soundness cross-check that any guided schedule replays on
+// the unguided model). The builder gives every automaton, location, and
+// channel the same name regardless of the guide selection, and a guided
+// model's edges are a structural subset of the unguided model's, so each
+// transition maps by (automaton, source location, destination location,
+// channel) names. Parallel edges sharing all four names (e.g. the per-
+// machine treatment-on edges of a recipe stage) are disambiguated by
+// their ordinal among same-signature edges, which the builder emits in
+// identical order in every variant.
+func MapTrace(from, to *ta.System, trace []mc.Transition) ([]mc.Transition, error) {
+	fm, err := newEdgeMapper(from, to)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]mc.Transition, len(trace))
+	for i, t := range trace {
+		m := t
+		m.A1, m.E1, err = fm.mapEdge(t.A1, t.E1)
+		if err != nil {
+			return nil, fmt.Errorf("plant: trace step %d: %w", i+1, err)
+		}
+		if !t.Internal() {
+			m.A2, m.E2, err = fm.mapEdge(t.A2, t.E2)
+			if err != nil {
+				return nil, fmt.Errorf("plant: trace step %d: %w", i+1, err)
+			}
+			name := from.Channel(t.Chan).Name
+			ch, ok := to.ChannelIndex(name)
+			if !ok {
+				return nil, fmt.Errorf("plant: trace step %d: channel %q missing in target model", i+1, name)
+			}
+			m.Chan = ch
+		}
+		out[i] = m
+	}
+	return out, nil
+}
+
+// edgeSig is the name-level identity of an edge.
+type edgeSig struct {
+	src, dst string
+	ch       string // "" for internal edges
+	dir      ta.SyncDir
+}
+
+func edgeSignature(sys *ta.System, a *ta.Automaton, e *ta.Edge) edgeSig {
+	sig := edgeSig{
+		src: a.Locations[e.Src].Name,
+		dst: a.Locations[e.Dst].Name,
+		dir: e.Dir,
+	}
+	if e.Chan >= 0 {
+		sig.ch = sys.Channel(e.Chan).Name
+	}
+	return sig
+}
+
+// edgeMapper maps (automaton, edge) indices of `from` to `to` by name
+// signature and ordinal.
+type edgeMapper struct {
+	from, to *ta.System
+	// srcOrd[ai][ei] is edge ei's ordinal among same-signature edges of
+	// from-automaton ai.
+	srcOrd [][]int
+	// toAuto maps from-automaton index to to-automaton index.
+	toAuto []int
+	// toEdges[tai] groups to-automaton tai's edge indices by signature.
+	toEdges []map[edgeSig][]int
+}
+
+func newEdgeMapper(from, to *ta.System) (*edgeMapper, error) {
+	byName := make(map[string]int, len(to.Automata))
+	for i, a := range to.Automata {
+		byName[a.Name] = i
+	}
+	m := &edgeMapper{
+		from:    from,
+		to:      to,
+		srcOrd:  make([][]int, len(from.Automata)),
+		toAuto:  make([]int, len(from.Automata)),
+		toEdges: make([]map[edgeSig][]int, len(to.Automata)),
+	}
+	for ai, a := range from.Automata {
+		ti, ok := byName[a.Name]
+		if !ok {
+			return nil, fmt.Errorf("plant: automaton %q missing in target model", a.Name)
+		}
+		m.toAuto[ai] = ti
+		seen := make(map[edgeSig]int)
+		ords := make([]int, len(a.Edges))
+		for ei := range a.Edges {
+			sig := edgeSignature(from, a, &a.Edges[ei])
+			ords[ei] = seen[sig]
+			seen[sig]++
+		}
+		m.srcOrd[ai] = ords
+	}
+	for ti, a := range to.Automata {
+		groups := make(map[edgeSig][]int)
+		for ei := range a.Edges {
+			sig := edgeSignature(to, a, &a.Edges[ei])
+			groups[sig] = append(groups[sig], ei)
+		}
+		m.toEdges[ti] = groups
+	}
+	return m, nil
+}
+
+func (m *edgeMapper) mapEdge(ai, ei int) (int, int, error) {
+	a := m.from.Automata[ai]
+	if ei < 0 || ei >= len(a.Edges) {
+		return 0, 0, fmt.Errorf("plant: edge %d out of range in automaton %q", ei, a.Name)
+	}
+	sig := edgeSignature(m.from, a, &a.Edges[ei])
+	ti := m.toAuto[ai]
+	group := m.toEdges[ti][sig]
+	ord := m.srcOrd[ai][ei]
+	if ord >= len(group) {
+		return 0, 0, fmt.Errorf("plant: edge %s.%s->%s (ordinal %d) missing in target model",
+			a.Name, sig.src, sig.dst, ord)
+	}
+	return ti, group[ord], nil
+}

@@ -2,10 +2,12 @@
 // plant (the paper's case study): one batch automaton and one recipe
 // automaton per ladle of steel, two crane automata, a casting-machine
 // automaton, and a production-list automaton. The builder produces three
-// variants of the same model — unguided, partially guided, and fully
-// guided — by adding the paper's guide variables (`next`, `wantlift`,
-// `creq`, `nextbatch`) and decorating transitions with extra guards. The
-// model checker needs no knowledge of guides: they are ordinary state.
+// preset variants of the same model — unguided, partially guided, and
+// fully guided — by adding the paper's guide variables (`next`,
+// `wantlift`, `creq`, `nextbatch`) and decorating transitions with extra
+// guards, and additionally accepts any per-family subset of those guides
+// (GuideSet) so a search layer can explore the space between the presets.
+// The model checker needs no knowledge of guides: they are ordinary state.
 package plant
 
 import (
@@ -121,6 +123,21 @@ type Config struct {
 	// flight ahead of the caster (default 4). It is a guide parameter — a
 	// strategy knob, not a plant property.
 	PourLookahead int
+	// GuideSet, when non-nil, selects guide families individually and
+	// overrides Guides/PourLookahead. It is how the guide-search layer
+	// (internal/guide) builds candidate models; the preset levels remain
+	// the stable named points of the same space.
+	GuideSet *GuideSet
+}
+
+// ActiveGuides resolves the guide families the config compiles in: the
+// explicit GuideSet when given, otherwise the preset expansion of Guides
+// (with PourLookahead as the AllGuides pour window).
+func (c Config) ActiveGuides() GuideSet {
+	if c.GuideSet != nil {
+		return *c.GuideSet
+	}
+	return c.Guides.GuideSet(c.PourLookahead)
 }
 
 // CycleQualities builds an n-entry production list cycling through the
@@ -208,12 +225,15 @@ func (p *Plant) NumBatches() int { return len(p.Cfg.Qualities) }
 
 // builder carries shared state while constructing the network.
 type builder struct {
-	p      *Plant
-	sys    *ta.System
-	cfg    Config
-	n      int // batch count
+	p   *Plant
+	sys *ta.System
+	cfg Config
+	n   int // batch count
+	// g is the resolved guide family selection; guided mirrors
+	// g.someLevel() (any Some-level family on → the shared guide
+	// bookkeeping variables are compiled in).
+	g      GuideSet
 	guided bool
-	all    bool
 
 	batchClock  []int // per-batch movement clock
 	treatClock  []int // per-batch recipe treatment clock
@@ -236,13 +256,18 @@ func Build(cfg Config) (*Plant, error) {
 		cfg.Params = DefaultParams()
 	}
 
+	g := cfg.ActiveGuides()
 	b := &builder{
 		cfg:    cfg,
 		n:      len(cfg.Qualities),
-		guided: cfg.Guides >= SomeGuides,
-		all:    cfg.Guides >= AllGuides,
+		g:      g,
+		guided: g.someLevel(),
 	}
-	b.sys = ta.NewSystem(fmt.Sprintf("sidmar-%d-%s", b.n, cfg.Guides))
+	label := cfg.Guides.String()
+	if cfg.GuideSet != nil {
+		label = g.String()
+	}
+	b.sys = ta.NewSystem(fmt.Sprintf("sidmar-%d-%s", b.n, label))
 	b.p = &Plant{Sys: b.sys, Cfg: cfg, commands: make(map[edgeKey]Command)}
 
 	b.declareState()
@@ -316,8 +341,10 @@ func (b *builder) declareState() {
 		t.DeclareVar("cdest2", 0)
 		t.DeclareVar("creqby", 0)
 	}
-	if b.all {
+	if b.g.PourOrder {
 		t.DeclareVar("nextbatch", 0)
+	}
+	if b.g.CastPace {
 		// progress[b] flips to 1 once batch b, bound for the caster, has
 		// reached a track exit; the cast-pacing guide keys on it.
 		t.DeclareArray("progress", b.n)
@@ -427,7 +454,7 @@ var (
 
 // liftPoints returns the points crane ci may pick up at.
 func (b *builder) liftPoints(ci int) []int {
-	if b.guided {
+	if b.g.Regions {
 		return craneLiftPts[ci]
 	}
 	return liftablePoints
@@ -435,23 +462,15 @@ func (b *builder) liftPoints(ci int) []int {
 
 // dropPoints returns the points crane ci may set down at.
 func (b *builder) dropPoints(ci int) []int {
-	if b.guided {
+	if b.g.Regions {
 		return craneDropPts[ci]
 	}
 	return droppablePoints
 }
 
-// lookahead returns the pour-pacing window.
-func (b *builder) lookahead() int {
-	if b.cfg.PourLookahead > 0 {
-		return b.cfg.PourLookahead
-	}
-	return 4
-}
-
 // craneRange returns the overhead stretch crane ci may move within.
 func (b *builder) craneRange(ci int) (lo, hi int) {
-	if b.guided {
+	if b.g.Regions {
 		return craneSpan[ci][0], craneSpan[ci][1]
 	}
 	return 0, NumPts - 1

@@ -2,6 +2,7 @@ package plant
 
 import (
 	"fmt"
+	"strings"
 
 	"guidedta/internal/ta"
 )
@@ -52,7 +53,7 @@ func (b *builder) buildRecipe(bi int) {
 		if b.guided {
 			e.Assign(fmt.Sprintf("next[%d] := %d", bi, m)).
 				Note("guide: head for the chosen first machine")
-			if len(first.Machines) > 1 {
+			if b.g.Balance && len(first.Machines) > 1 {
 				cmp := "<="
 				if tr == 2 {
 					cmp = ">"
@@ -61,14 +62,22 @@ func (b *builder) buildRecipe(bi int) {
 					Note("guide: start on the emptier track")
 			}
 		}
-		if b.all {
-			// Pour in production-list order, and pace pours to the
-			// caster's progress: a batch may start at most PourLookahead
-			// casts ahead, preventing queue build-up that would break the
-			// temperature deadline deep in the search (the paper's
-			// "starting a batch based on the progress of the batch just
-			// before it", keyed here to casting progress).
-			e.Guard(fmt.Sprintf("nextbatch == %d && castnext > %d", bi, bi-b.lookahead())).
+		// Pour in production-list order, and pace pours to the caster's
+		// progress: a batch may start at most PourWindow casts ahead,
+		// preventing queue build-up that would break the temperature
+		// deadline deep in the search (the paper's "starting a batch based
+		// on the progress of the batch just before it", keyed here to
+		// casting progress). The two conjuncts are separate guide families
+		// so the search layer can weigh ordering and pacing independently.
+		var pour []string
+		if b.g.PourOrder {
+			pour = append(pour, fmt.Sprintf("nextbatch == %d", bi))
+		}
+		if b.g.PourWindow > 0 {
+			pour = append(pour, fmt.Sprintf("castnext > %d", bi-b.g.PourWindow))
+		}
+		if len(pour) > 0 {
+			e.Guard(strings.Join(pour, " && ")).
 				Note("guide: pour in order, paced by casting progress")
 		}
 		e.Done()
@@ -83,7 +92,7 @@ func (b *builder) buildRecipe(bi int) {
 				Guard(fmt.Sprintf("atm[%d] == %d", bi, m)).
 				Sync(fmt.Sprintf("mon_%d", bi), ta.Send).
 				Reset(t)
-			if b.all && last {
+			if b.g.PourOrder && last {
 				// The paper delays the nextbatch update until the batch
 				// just ahead starts its final treatment.
 				on.Assign("nextbatch := nextbatch + 1").
@@ -98,7 +107,7 @@ func (b *builder) buildRecipe(bi int) {
 			if last {
 				off.Assign(fmt.Sprintf("next[%d] := cast", bi))
 			} else {
-				off.Assign(fmt.Sprintf("next[%d] := %s", bi, stageChoiceExpr(stages[k+1], bi, true))).
+				off.Assign(fmt.Sprintf("next[%d] := %s", bi, stageChoiceExpr(stages[k+1], bi, b.g.Balance))).
 					Note("guide: choose the next machine on the emptier track")
 			}
 		}

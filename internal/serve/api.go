@@ -1,11 +1,14 @@
 package serve
 
+// api.go resolves the wire schema of apitypes.go: request validation into
+// engine values, and engine results into response bodies.
+
 import (
+	"encoding/json"
 	"fmt"
-	"strings"
 	"time"
 
-	"guidedta/internal/cliutil"
+	"guidedta/internal/guide"
 	"guidedta/internal/mc"
 	"guidedta/internal/plant"
 	"guidedta/internal/rcx"
@@ -14,40 +17,14 @@ import (
 	"guidedta/internal/tadsl"
 )
 
-// SubmitRequest is the POST /jobs body: a model to check (tadsl source or
-// a named plant configuration) plus search options.
-type SubmitRequest struct {
-	// Model is tadsl source text including a `query exists ...` line.
-	Model string `json:"model,omitempty"`
-	// Plant asks for the paper's batch-plant scheduling pipeline instead
-	// of a raw model: the schedule search plus RCX program synthesis.
-	Plant *PlantRequest `json:"plant,omitempty"`
-	// Options configures the search; zero values take server defaults.
-	Options OptionsRequest `json:"options"`
-}
-
-// PlantRequest names a plant scheduling instance, mirroring the
-// cmd/plantsynth flags.
-type PlantRequest struct {
-	// Batches cycles the default Q1,Q2,Q3 production list to this length
-	// (ignored when Qualities is given).
-	Batches int `json:"batches,omitempty"`
-	// Qualities is an explicit production list (steel qualities 1..5).
-	Qualities []int `json:"qualities,omitempty"`
-	// Guides is the guide level: "none", "some", or "all" (default).
-	Guides string `json:"guides,omitempty"`
-}
-
 func (p *PlantRequest) resolve() (plant.Config, error) {
 	cfg := plant.Config{Guides: plant.AllGuides}
-	switch strings.ToLower(p.Guides) {
-	case "", "all":
-	case "some":
-		cfg.Guides = plant.SomeGuides
-	case "none":
-		cfg.Guides = plant.NoGuides
-	default:
-		return cfg, fmt.Errorf("unknown guide level %q", p.Guides)
+	if p.Guides != "" {
+		lvl, err := plant.ParseGuideLevel(p.Guides)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Guides = lvl
 	}
 	if len(p.Qualities) > 0 {
 		for _, q := range p.Qualities {
@@ -68,70 +45,32 @@ func (p *PlantRequest) resolve() (plant.Config, error) {
 	return cfg, nil
 }
 
-// OptionsRequest is the JSON projection of the client-settable mc.Options,
-// mirroring the cliutil flag block field for field.
-type OptionsRequest struct {
-	Search         string `json:"search,omitempty"` // bfs, dfs (default), bsh, besttime
-	HashBits       int    `json:"hash_bits,omitempty"`
-	NoInclusion    bool   `json:"no_inclusion,omitempty"`
-	NoActiveClocks bool   `json:"no_active_clocks,omitempty"`
-	// Compact is a tri-state so absence keeps the engine default (compact
-	// store on): null/omitted = default, false = full-DBM store, true =
-	// compact store. Clients written before the default flip that sent
-	// {"compact": true} keep their meaning.
-	Compact        *bool   `json:"compact,omitempty"`
-	Workers        int     `json:"workers,omitempty"`
-	MaxStates      int     `json:"max_states,omitempty"`
-	MaxMemoryMB    int64   `json:"max_memory_mb,omitempty"`
-	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
-}
-
-func (o OptionsRequest) resolve() (mc.Options, error) {
-	search := o.Search
-	if search == "" {
-		search = "dfs"
+// resolve overlays the client's options onto the server defaults through
+// the mc.Options JSON contract and validates the result. Reports always
+// carry the full counters, so Profile is forced on.
+func (o OptionsRequest) resolve(defaults mc.Options) (mc.Options, error) {
+	opts := defaults
+	if len(o.raw) > 0 {
+		if err := json.Unmarshal(o.raw, &opts); err != nil {
+			return mc.Options{}, err
+		}
 	}
-	order, err := cliutil.ParseSearch(search)
-	if err != nil {
-		return mc.Options{}, err
-	}
-	opts := mc.DefaultOptions(order)
-	if o.HashBits != 0 {
-		opts.HashBits = o.HashBits
-	}
-	opts.Inclusion = !o.NoInclusion
-	opts.ActiveClocks = !o.NoActiveClocks
-	if o.Compact != nil {
-		opts.Compact = *o.Compact
-	}
-	opts.Workers = o.Workers
-	opts.MaxStates = o.MaxStates
-	opts.MaxMemory = o.MaxMemoryMB << 20
-	if o.TimeoutSeconds < 0 {
-		return mc.Options{}, fmt.Errorf("timeout_seconds must be >= 0")
-	}
-	opts.Timeout = time.Duration(o.TimeoutSeconds * float64(time.Second))
-	opts.Profile = true // reports always carry the full counters
+	opts.Profile = true
 	return opts, opts.Validate()
 }
 
-// JobJSON is the wire form of a job record, returned by POST /jobs, GET
-// /jobs/{id}, DELETE /jobs/{id}, and the final SSE event.
-type JobJSON struct {
-	ID          string     `json:"id"`
-	State       JobState   `json:"state"`
-	Cache       CacheState `json:"cache"`
-	Created     string     `json:"created"`
-	Query       string     `json:"query,omitempty"`
-	ModelSHA256 string     `json:"model_sha256,omitempty"`
-	Key         string     `json:"key,omitempty"`
-	// Report is the schema-validated run report (internal/cliutil) once
-	// the job settles.
-	Report *cliutil.RunReport `json:"report,omitempty"`
-	// Schedule and Program carry the synthesis artifacts of plant jobs.
-	Schedule *ScheduleJSON `json:"schedule,omitempty"`
-	Program  *ProgramJSON  `json:"program,omitempty"`
-	Error    string        `json:"error,omitempty"`
+// serveDefaults is the options baseline every request overlays: the
+// engine defaults under depth-first search.
+func serveDefaults() mc.Options { return mc.DefaultOptions(mc.DFS) }
+
+// budget converts the wire budget to the effective guide.Budget.
+func (d *DiscoverRequest) budget() guide.Budget {
+	var b guide.Budget
+	if d.Budget != nil {
+		b.ProbeStates = d.Budget.ProbeStates
+		b.MaxProbes = d.Budget.MaxProbes
+	}
+	return b.WithDefaults()
 }
 
 // jobJSON renders a job under its lock-consistent snapshot.
@@ -150,27 +89,12 @@ func jobJSON(j *Job) JobJSON {
 		jj.Report = out.report
 		jj.Schedule = out.schedule
 		jj.Program = out.program
+		jj.Discover = out.discover
 		if out.err != nil {
 			jj.Error = out.err.Error()
 		}
 	}
 	return jj
-}
-
-// ScheduleJSON is the projected plant schedule of a plant job: the
-// paper's Table 2 content in machine-readable form.
-type ScheduleJSON struct {
-	Commands []ScheduleCommand `json:"commands"`
-	Horizon  string            `json:"horizon"`
-	Batches  int               `json:"batches"`
-	Text     string            `json:"text"`
-}
-
-// ScheduleCommand is one timestamped plant command.
-type ScheduleCommand struct {
-	Time   string `json:"time"`
-	Unit   string `json:"unit"`
-	Action string `json:"action"`
 }
 
 func scheduleJSON(s schedule.Schedule) *ScheduleJSON {
@@ -189,13 +113,6 @@ func scheduleJSON(s schedule.Schedule) *ScheduleJSON {
 	return out
 }
 
-// ProgramJSON is the synthesized RCX control program of a plant job.
-type ProgramJSON struct {
-	Instructions int    `json:"instructions"`
-	CommandCodes int    `json:"command_codes"`
-	Text         string `json:"text"`
-}
-
 func programJSON(p rcx.Program, codec *synth.Codec) *ProgramJSON {
 	return &ProgramJSON{
 		Instructions: len(p),
@@ -204,24 +121,64 @@ func programJSON(p rcx.Program, codec *synth.Codec) *ProgramJSON {
 	}
 }
 
-// StatusJSON is the GET /status body: queue, worker, job, and cache
-// health in one view (also published as an expvar by StatusVar).
-type StatusJSON struct {
-	State              string           `json:"state"` // serving | draining
-	QueueDepth         int              `json:"queue_depth"`
-	QueueCap           int              `json:"queue_cap"`
-	Workers            []WorkerStatus   `json:"workers"`
-	Jobs               map[JobState]int `json:"jobs"`
-	ExecutionsStarted  int64            `json:"executions_started"`
-	ExecutionsFinished int64            `json:"executions_finished"`
-	Cache              CacheStatus      `json:"cache"`
+func discoverJSON(r *guide.Result) *DiscoverJSON {
+	out := &DiscoverJSON{
+		Guides:             r.Best.Guides.String(),
+		Found:              r.Best.Found,
+		Explored:           r.Best.Explored,
+		Stored:             r.Best.Stored,
+		Replayed:           r.Best.Replayed,
+		Probes:             r.Probes,
+		TimeToFirstSeconds: r.TimeToFirst.Seconds(),
+		Baseline:           evaluationJSON(r.Baseline),
+		Full:               evaluationJSON(r.Full),
+	}
+	for _, ev := range r.Evaluations {
+		out.Evaluations = append(out.Evaluations, evaluationJSON(ev))
+	}
+	return out
 }
 
-// WorkerStatus is one pool worker's live state.
-type WorkerStatus struct {
-	Busy    bool    `json:"busy"`
-	Job     string  `json:"job,omitempty"` // short cache key of the running execution
-	Seconds float64 `json:"seconds,omitempty"`
+func evaluationJSON(ev guide.Evaluation) EvaluationJSON {
+	return EvaluationJSON{
+		Guides:   ev.Guides.String(),
+		Found:    ev.Found,
+		Explored: ev.Explored,
+		Stored:   ev.Stored,
+		Abort:    string(ev.Abort),
+		Replayed: ev.Replayed,
+	}
+}
+
+func probeJSON(p guide.Progress) ProbeJSON {
+	return ProbeJSON{
+		Probe:    p.Probe,
+		Total:    p.Total,
+		Phase:    p.Phase,
+		Guides:   p.Guides,
+		Found:    p.Found,
+		Explored: p.Explored,
+		Stored:   p.Stored,
+		Best:     p.Best,
+	}
+}
+
+func snapshotJSON(s mc.Snapshot) SnapshotJSON {
+	return SnapshotJSON{
+		ElapsedSeconds: s.Elapsed.Seconds(),
+		StatesExplored: s.StatesExplored,
+		StatesPerSec:   s.StatesPerSec,
+		Transitions:    s.Transitions,
+		Waiting:        s.Waiting,
+		PeakWaiting:    s.PeakWaiting,
+		StatesStored:   s.StatesStored,
+		StoreBytes:     s.StoreBytes,
+		MemBytes:       s.MemBytes,
+		MaxDepth:       s.MaxDepth,
+		Deadends:       s.Deadends,
+		Steals:         s.Steals,
+		Final:          s.Final,
+	}
 }
 
 // Status assembles the live service view.

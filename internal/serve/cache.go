@@ -25,52 +25,18 @@ func hashModel(sys *ta.System, goal *mc.Goal) (string, error) {
 // of the key; observability knobs (SnapshotEvery, Observer, Profile)
 // deliberately are not.
 func cacheKey(kind, modelSHA string, opts mc.Options) string {
-	// Key on the canonical options the engine actually runs with, so
-	// spellings of the same configuration (Workers 0 vs 1, a worker count
-	// on the inherently sequential BSH/BestTime orders) share an entry.
-	// Admission has already validated the options, so normalization cannot
-	// fail here; if it ever does, the raw options still form a correct —
-	// merely less collision-friendly — key.
-	if n, err := opts.Normalized(); err == nil {
-		opts = n
+	// Key on the canonical JSON of the normalized options — the same
+	// encoding clients speak on the wire — so spellings of the same
+	// configuration (Workers 0 vs 1, a worker count on the inherently
+	// sequential BSH/BestTime orders) share an entry. Admission has
+	// already validated the options, so canonicalization cannot fail here;
+	// if it ever does, the raw marshal still forms a correct — merely less
+	// collision-friendly — key.
+	data, err := opts.CanonicalJSON()
+	if err != nil {
+		data, _ = json.Marshal(opts)
 	}
-	// The projection marshals deterministically (fixed struct field
-	// order), so identical options always serialize identically.
-	proj := struct {
-		Kind      string
-		Search    string
-		HashBits  int
-		Coarse    bool
-		Inclusion bool
-		Compact   bool
-		Extrap    bool
-		Classic   bool
-		Active    bool
-		Workers   int
-		MaxStates int
-		MaxMemory int64
-		TimeoutNS int64
-		TimeClock int
-		Horizon   int32
-	}{
-		Kind:      kind,
-		Search:    opts.Search.String(),
-		HashBits:  opts.HashBits,
-		Coarse:    opts.CoarseHash,
-		Inclusion: opts.Inclusion,
-		Compact:   opts.Compact,
-		Extrap:    opts.Extrapolate,
-		Classic:   opts.ClassicExtrapolation,
-		Active:    opts.ActiveClocks,
-		Workers:   opts.Workers,
-		MaxStates: opts.MaxStates,
-		MaxMemory: opts.MaxMemory,
-		TimeoutNS: int64(opts.Timeout),
-		TimeClock: opts.TimeClock,
-		Horizon:   opts.TimeHorizon,
-	}
-	data, _ := json.Marshal(proj)
-	h := sha256.Sum256(append([]byte(modelSHA+"|"), data...))
+	h := sha256.Sum256([]byte(kind + "|" + modelSHA + "|" + string(data)))
 	return hex.EncodeToString(h[:])
 }
 
@@ -194,17 +160,6 @@ func (c *cache) inflightCount() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.inflight)
-}
-
-// CacheStatus is the cache block of /status.
-type CacheStatus struct {
-	Entries   int     `json:"entries"`
-	Max       int     `json:"max"`
-	InFlight  int     `json:"in_flight"`
-	Hits      int64   `json:"hits"`
-	Misses    int64   `json:"misses"`
-	Coalesced int64   `json:"coalesced"`
-	HitRate   float64 `json:"hit_rate"`
 }
 
 func (c *cache) status() CacheStatus {

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 )
 
 // admissionError is a client-visible rejection with its HTTP status.
@@ -32,21 +33,45 @@ const maxRequestBytes = 8 << 20
 
 // Handler returns the service's HTTP API:
 //
-//	POST   /jobs              submit a job (?wait=1 blocks until it settles)
-//	GET    /jobs/{id}         job record, with report once settled
-//	DELETE /jobs/{id}         cancel a job
-//	GET    /jobs/{id}/events  SSE stream: progress snapshots, then `done`
-//	GET    /status            queue/worker/cache health
-//	GET    /healthz           liveness ("ok", or "draining" during drain)
+//	POST   /v1/jobs              submit a job (?wait=1 blocks until it settles)
+//	POST   /v1/discover          submit a guide-discovery job (same job lifecycle)
+//	GET    /v1/jobs/{id}         job record, with report once settled
+//	DELETE /v1/jobs/{id}         cancel a job
+//	GET    /v1/jobs/{id}/events  SSE stream: progress events, then `done`
+//	GET    /v1/status            queue/worker/cache health
+//	GET    /v1/healthz           liveness ("ok", or "draining" during drain)
+//
+// The original unversioned routes (POST /jobs, GET /status, ...) remain
+// mounted as thin aliases for pre-/v1 clients; they serve identical
+// bodies but answer with a `Deprecation: true` header and a `Link`
+// pointing at the successor /v1 route.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /jobs", s.handleSubmit)
-	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
-	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
-	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
-	mux.HandleFunc("GET /status", s.handleStatus)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("POST /v1/discover", s.handleDiscover)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/status", s.handleStatus)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+
+	mux.HandleFunc("POST /jobs", deprecated(s.handleSubmit))
+	mux.HandleFunc("GET /jobs/{id}", deprecated(s.handleGet))
+	mux.HandleFunc("DELETE /jobs/{id}", deprecated(s.handleCancel))
+	mux.HandleFunc("GET /jobs/{id}/events", deprecated(s.handleEvents))
+	mux.HandleFunc("GET /status", deprecated(s.handleStatus))
+	mux.HandleFunc("GET /healthz", deprecated(s.handleHealthz))
 	return mux
+}
+
+// deprecated wraps a /v1 handler for its legacy unversioned alias: same
+// behaviour, plus the deprecation headers steering clients to /v1.
+func deprecated(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("</v1%s>; rel=\"successor-version\"", r.URL.Path))
+		h(w, r)
+	}
 }
 
 // StatusVar returns the live status as an expvar.Var, for callers that
@@ -69,6 +94,28 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, err)
 		return
 	}
+	s.respondSubmitted(w, r, job)
+}
+
+func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
+	var req DiscoverRequest
+	body := io.LimitReader(r.Body, maxRequestBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		httpError(w, badRequestf("bad request body: %v", err))
+		return
+	}
+	job, err := s.submitDiscover(&req)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	s.respondSubmitted(w, r, job)
+}
+
+// respondSubmitted finishes a submission response: optional ?wait=1
+// blocking, the version-matched Location of the job record, and the job
+// body with 202 (queued/running) or 200 (settled).
+func (s *Server) respondSubmitted(w http.ResponseWriter, r *http.Request, job *Job) {
 	status := http.StatusAccepted
 	if r.URL.Query().Get("wait") != "" {
 		job.wait(r.Context())
@@ -76,7 +123,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	} else if st, _ := job.snapshot(); st == JobDone {
 		status = http.StatusOK // cache hit: settled at admission
 	}
-	w.Header().Set("Location", "/jobs/"+job.ID)
+	location := "/v1/jobs/" + job.ID
+	if !strings.HasPrefix(r.URL.Path, "/v1/") {
+		location = "/jobs/" + job.ID // legacy alias keeps legacy locations
+	}
+	w.Header().Set("Location", location)
 	writeJSON(w, status, jobJSON(job))
 }
 

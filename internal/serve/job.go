@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"guidedta/internal/cliutil"
+	"guidedta/internal/guide"
 	"guidedta/internal/mc"
 	"guidedta/internal/plant"
 	"guidedta/internal/ta"
@@ -133,6 +134,12 @@ type execution struct {
 	isPlant  bool
 	plantCfg plant.Config
 
+	// isDiscover marks a guide-search job; budget and seed parameterize
+	// the search (cfg comes from plantCfg).
+	isDiscover bool
+	budget     guide.Budget
+	seed       int64
+
 	ctx    context.Context
 	cancel context.CancelFunc
 
@@ -145,9 +152,17 @@ type execution struct {
 	mu       sync.Mutex
 	jobs     []*Job
 	released int
-	last     *mc.Snapshot
-	subs     map[chan mc.Snapshot]struct{}
+	last     *streamEvent
+	subs     map[chan streamEvent]struct{}
 	settled  bool
+}
+
+// streamEvent is one tagged SSE frame of an execution's event stream:
+// engine `snapshot` samples and guide-search `probe`/`replay` events ride
+// the same fan-out.
+type streamEvent struct {
+	name string
+	data any
 }
 
 // attach registers a job's interest; it fails once the execution has
@@ -173,27 +188,36 @@ func (ex *execution) release() {
 	}
 }
 
-// publish fans a progress snapshot out to every subscribed event stream;
-// slow subscribers drop samples rather than stall the sampler.
+// publish fans an engine progress snapshot out to every subscribed event
+// stream; slow subscribers drop samples rather than stall the sampler.
 func (ex *execution) publish(s mc.Snapshot) {
+	ex.fanout(streamEvent{name: "snapshot", data: snapshotJSON(s)})
+}
+
+// publishProbe fans a guide-search progress event out (discover jobs).
+func (ex *execution) publishProbe(p guide.Progress) {
+	ex.fanout(streamEvent{name: p.Phase, data: probeJSON(p)})
+}
+
+func (ex *execution) fanout(ev streamEvent) {
 	ex.mu.Lock()
-	ex.last = &s
+	ex.last = &ev
 	for ch := range ex.subs {
 		select {
-		case ch <- s:
+		case ch <- ev:
 		default:
 		}
 	}
 	ex.mu.Unlock()
 }
 
-// subscribe opens a snapshot channel for an event stream, replaying the
-// latest snapshot so a late subscriber sees progress immediately.
-func (ex *execution) subscribe() chan mc.Snapshot {
-	ch := make(chan mc.Snapshot, 8)
+// subscribe opens an event channel for an SSE stream, replaying the
+// latest event so a late subscriber sees progress immediately.
+func (ex *execution) subscribe() chan streamEvent {
+	ch := make(chan streamEvent, 8)
 	ex.mu.Lock()
 	if ex.subs == nil {
-		ex.subs = make(map[chan mc.Snapshot]struct{})
+		ex.subs = make(map[chan streamEvent]struct{})
 	}
 	ex.subs[ch] = struct{}{}
 	if ex.last != nil {
@@ -203,7 +227,7 @@ func (ex *execution) subscribe() chan mc.Snapshot {
 	return ch
 }
 
-func (ex *execution) unsubscribe(ch chan mc.Snapshot) {
+func (ex *execution) unsubscribe(ch chan streamEvent) {
 	ex.mu.Lock()
 	delete(ex.subs, ch)
 	ex.mu.Unlock()
@@ -224,6 +248,7 @@ type outcome struct {
 	abort    mc.AbortReason
 	schedule *ScheduleJSON
 	program  *ProgramJSON
+	discover *DiscoverJSON
 	err      error
 }
 

@@ -5,17 +5,21 @@
 // identity, Observer progress snapshots — into a serving layer:
 //
 //   - Clients POST a tadsl model or a named plant configuration with
-//     search options to /jobs. Jobs are admitted through a bounded queue
-//     (429 + Retry-After when full) and run on a fixed worker pool with
-//     per-job deadlines; DELETE /jobs/{id} cancels a job.
+//     search options to /v1/jobs, or a plant instance to /v1/discover for
+//     automatic guide discovery (internal/guide). Jobs are admitted
+//     through a bounded queue (429 + Retry-After when full) and run on a
+//     fixed worker pool with per-job deadlines; DELETE /v1/jobs/{id}
+//     cancels a job. The pre-/v1 unversioned routes remain as deprecated
+//     aliases.
 //   - Work is deduplicated through a content-addressed result cache keyed
 //     by the model's canonical sha256 plus the normalized options:
 //     concurrent identical queries coalesce onto one underlying
 //     exploration (singleflight) and later hits return the cached report
 //     without searching at all.
 //   - Live progress rides the Observer/Snapshot seam: GET
-//     /jobs/{id}/events streams periodic snapshots as server-sent events,
-//     and /status exposes queue depth, cache hit rate, and per-worker
+//     /v1/jobs/{id}/events streams periodic snapshots (and, for discover
+//     jobs, per-probe guide-search events) as server-sent events, and
+//     /v1/status exposes queue depth, cache hit rate, and per-worker
 //     state (also available as an expvar via StatusVar).
 //   - Drain stops admission and finishes or cancels in-flight jobs so
 //     SIGTERM lands as a clean shutdown with every final report flushed.
@@ -27,6 +31,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -35,6 +40,7 @@ import (
 
 	"guidedta/internal/cliutil"
 	"guidedta/internal/core"
+	"guidedta/internal/guide"
 	"guidedta/internal/mc"
 	"guidedta/internal/plant"
 	"guidedta/internal/synth"
@@ -168,7 +174,25 @@ func (s *Server) submit(req *SubmitRequest) (*Job, error) {
 	if err != nil {
 		return nil, err
 	}
+	return s.place(ex)
+}
 
+// submitDiscover admits one decoded guide-discovery request; admission
+// semantics (cache, coalescing, queue bounds) match submit.
+func (s *Server) submitDiscover(req *DiscoverRequest) (*Job, error) {
+	if s.draining.Load() {
+		return nil, errDraining
+	}
+	ex, err := s.buildDiscover(req)
+	if err != nil {
+		return nil, err
+	}
+	return s.place(ex)
+}
+
+// place registers a job for a built execution and resolves it against the
+// cache: hit, coalesce, or enqueue.
+func (s *Server) place(ex *execution) (*Job, error) {
 	job := s.jobs.create()
 	job.Query = ex.query
 	job.ModelSHA256 = ex.modelSHA
@@ -206,7 +230,7 @@ func (s *Server) submit(req *SubmitRequest) (*Job, error) {
 // content-addressed key. Model construction happens at admission time so
 // bad requests fail with a 400 before consuming a queue slot.
 func (s *Server) buildExecution(req *SubmitRequest) (*execution, error) {
-	opts, err := req.Options.resolve()
+	opts, err := req.Options.resolve(serveDefaults())
 	if err != nil {
 		return nil, badRequestf("bad options: %v", err)
 	}
@@ -272,6 +296,53 @@ func (s *Server) buildExecution(req *SubmitRequest) (*execution, error) {
 	return ex, nil
 }
 
+// buildDiscover resolves a guide-discovery request. The content address
+// is the unguided plant model's hash (the instance identity — the search
+// owns the guide selection) plus the oracle options, with the effective
+// budget and seed folded into the kind so different search extents never
+// alias.
+func (s *Server) buildDiscover(req *DiscoverRequest) (*execution, error) {
+	if req.Plant == nil {
+		return nil, badRequestf("discover needs a plant configuration")
+	}
+	opts, err := req.Options.resolve(serveDefaults())
+	if err != nil {
+		return nil, badRequestf("bad options: %v", err)
+	}
+	cfg, err := req.Plant.resolve()
+	if err != nil {
+		return nil, badRequestf("bad plant configuration: %v", err)
+	}
+	cfg.Guides, cfg.GuideSet = plant.NoGuides, nil
+	p, err := plant.Build(cfg)
+	if err != nil {
+		return nil, badRequestf("bad plant configuration: %v", err)
+	}
+	if opts.SnapshotEvery == 0 {
+		opts.SnapshotEvery = s.cfg.SnapshotEvery
+	}
+
+	ex := &execution{done: make(chan struct{})}
+	ex.ctx, ex.cancel = context.WithCancel(context.Background())
+	ex.isDiscover = true
+	ex.plantCfg = cfg
+	ex.budget = req.budget()
+	ex.seed = req.Seed
+	ex.opts = opts
+	ex.sys, ex.goal = p.Sys, p.Goal
+	ex.query = p.Goal.String()
+
+	sha, err := hashModel(ex.sys, &ex.goal)
+	if err != nil {
+		return nil, badRequestf("model cannot be serialized: %v", err)
+	}
+	ex.modelSHA = sha
+	kind := fmt.Sprintf("discover|seed=%d|probes=%d|states=%d",
+		ex.seed, ex.budget.MaxProbes, ex.budget.ProbeStates)
+	ex.key = cacheKey(kind, sha, opts)
+	return ex, nil
+}
+
 // run executes one admitted execution on a worker and publishes its
 // outcome to the cache and every attached job. It never panics the worker:
 // pipeline errors become failed outcomes.
@@ -296,6 +367,9 @@ func (s *Server) run(ex *execution) {
 // under the execution's cancellation context, filling a run report through
 // the same observer seam the CLI tools use.
 func (s *Server) execute(ex *execution) *outcome {
+	if ex.isDiscover {
+		return s.executeDiscover(ex)
+	}
 	rep := cliutil.NewReport("mcserved")
 	name := "model"
 	if ex.isPlant {
@@ -337,6 +411,45 @@ func (s *Server) execute(ex *execution) *outcome {
 	}
 	out.found = res.Found
 	out.abort = res.Abort
+	return out
+}
+
+// executeDiscover runs the guide search for a discover job. The service
+// JobTimeout caps the whole search (the per-probe options timeout, if the
+// client set one, still applies inside each oracle run); cancellation and
+// deadline surface as the matching abort reasons so they are service
+// outcomes, not failures. Partial results (the evaluations probed before
+// an abort) still reach the client.
+func (s *Server) executeDiscover(ex *execution) *outcome {
+	ctx := ex.ctx
+	if s.cfg.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
+		defer cancel()
+	}
+	opts := ex.opts
+	res, err := guide.Search(ctx, ex.plantCfg, guide.Options{
+		Budget:   ex.budget,
+		Seed:     ex.seed,
+		Oracle:   &opts,
+		Observer: &mc.FuncObserver{OnSnapshot: ex.publish},
+		Progress: ex.publishProbe,
+	})
+	out := &outcome{}
+	if res != nil {
+		out.discover = discoverJSON(res)
+	}
+	if err != nil {
+		switch {
+		case errors.Is(err, context.Canceled):
+			out.abort = mc.AbortCanceled
+		case errors.Is(err, context.DeadlineExceeded):
+			out.abort = mc.AbortTimeout
+		}
+		out.err = err
+		return out
+	}
+	out.found = res.Best.Found
 	return out
 }
 

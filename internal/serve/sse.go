@@ -4,16 +4,17 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
-
-	"guidedta/internal/mc"
 )
 
-// handleEvents streams a job's live progress as server-sent events: one
-// `snapshot` event per engine progress sample (states/sec, waiting, store
-// bytes, depth — the mc.Snapshot JSON), then a single `done` event with
-// the full job record. Subscribing to a settled job yields the `done`
-// event immediately; slow consumers drop intermediate snapshots rather
-// than stall the search's sampler.
+// handleEvents streams a job's live progress as server-sent events. A
+// model-checking job emits one `snapshot` event per engine progress
+// sample (states/sec, waiting, store bytes, depth — the SnapshotJSON
+// shape); a discover job additionally emits one `probe` event per oracle
+// invocation and a `replay` event per soundness cross-check (ProbeJSON).
+// Every stream ends with a single `done` event carrying the full job
+// record. Subscribing to a settled job yields the `done` event
+// immediately; slow consumers drop intermediate events rather than stall
+// the search's sampler.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.jobs.get(r.PathValue("id"))
 	if !ok {
@@ -41,14 +42,14 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	defer ex.unsubscribe(ch)
 	for {
 		select {
-		case snap := <-ch:
-			writeEvent(w, flusher, "snapshot", snapshotJSON(snap))
+		case ev := <-ch:
+			writeEvent(w, flusher, ev.name, ev.data)
 		case <-ex.done:
-			// Drain any sampled-but-unread snapshots, then close out.
+			// Drain any sampled-but-unread events, then close out.
 			for {
 				select {
-				case snap := <-ch:
-					writeEvent(w, flusher, "snapshot", snapshotJSON(snap))
+				case ev := <-ch:
+					writeEvent(w, flusher, ev.name, ev.data)
 					continue
 				default:
 				}
@@ -59,41 +60,6 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		case <-r.Context().Done():
 			return
 		}
-	}
-}
-
-// SnapshotJSON is the wire form of one progress sample.
-type SnapshotJSON struct {
-	ElapsedSeconds float64 `json:"elapsed_seconds"`
-	StatesExplored int     `json:"states_explored"`
-	StatesPerSec   float64 `json:"states_per_sec"`
-	Transitions    int     `json:"transitions"`
-	Waiting        int     `json:"waiting"`
-	PeakWaiting    int     `json:"peak_waiting"`
-	StatesStored   int     `json:"states_stored"`
-	StoreBytes     int64   `json:"store_bytes"`
-	MemBytes       int64   `json:"mem_bytes"`
-	MaxDepth       int     `json:"max_depth"`
-	Deadends       int     `json:"deadends"`
-	Steals         int64   `json:"steals,omitempty"`
-	Final          bool    `json:"final,omitempty"`
-}
-
-func snapshotJSON(s mc.Snapshot) SnapshotJSON {
-	return SnapshotJSON{
-		ElapsedSeconds: s.Elapsed.Seconds(),
-		StatesExplored: s.StatesExplored,
-		StatesPerSec:   s.StatesPerSec,
-		Transitions:    s.Transitions,
-		Waiting:        s.Waiting,
-		PeakWaiting:    s.PeakWaiting,
-		StatesStored:   s.StatesStored,
-		StoreBytes:     s.StoreBytes,
-		MemBytes:       s.MemBytes,
-		MaxDepth:       s.MaxDepth,
-		Deadends:       s.Deadends,
-		Steals:         s.Steals,
-		Final:          s.Final,
 	}
 }
 
