@@ -16,6 +16,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -40,6 +41,8 @@ func main() {
 		timeout     = flag.Duration("timeout", 0, "overall search wall-clock cap (0 = unlimited)")
 		progress    = flag.Bool("progress", false, "print one line per probe to stderr")
 		evals       = flag.Bool("evals", false, "print every evaluation, not just the summary")
+		warmStart   = flag.String("warm-start", "", "seed the climb from a prior winner: a -json output file (its \"guides\" field) or an inline guide set like route+steer+window=4")
+		jsonOut     = flag.String("json", "", "also write the result as JSON to this file (\"-\" for stdout); feed it back via -warm-start")
 	)
 	flag.Parse()
 
@@ -66,6 +69,13 @@ func main() {
 		Budget: guide.Budget{ProbeStates: *probeStates, MaxProbes: *maxProbes},
 		Seed:   *seed,
 		Oracle: &oracle,
+	}
+	if *warmStart != "" {
+		gs, err := loadWarmStart(*warmStart)
+		if err != nil {
+			fatal(err)
+		}
+		opt.WarmStart = &gs
 	}
 	if *progress {
 		opt.Progress = func(p guide.Progress) {
@@ -113,10 +123,80 @@ func main() {
 	printEval("  ", res.Best)
 	fmt.Printf("probes: %d, oracle time to first schedule: %s, total wall clock: %s\n",
 		res.Probes, res.TimeToFirst.Round(time.Millisecond), time.Since(start).Round(time.Millisecond))
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, res); err != nil {
+			fatal(err)
+		}
+	}
 	if !res.Best.Found {
 		fmt.Println("no guide set found a schedule within the budget; raise -probe-states or -max-probes")
 		os.Exit(1)
 	}
+}
+
+// resultJSON is the round-trippable summary -json emits; its "guides"
+// field matches the serve /v1/discover response, so either output feeds
+// -warm-start.
+type resultJSON struct {
+	Guides   string `json:"guides"`
+	Found    bool   `json:"found"`
+	Explored int    `json:"explored"`
+	Stored   int    `json:"stored"`
+	Probes   int    `json:"probes"`
+}
+
+func writeJSON(path string, res *guide.Result) error {
+	data, err := json.MarshalIndent(resultJSON{
+		Guides:   res.Best.Guides.String(),
+		Found:    res.Best.Found,
+		Explored: res.Best.Explored,
+		Stored:   res.Best.Stored,
+		Probes:   res.Probes,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// loadWarmStart resolves the -warm-start value: an inline guide set parses
+// directly; anything else is read as a JSON file carrying a "guides" field
+// — either this tool's -json output or a serve discover response (where
+// the field sits under "discover").
+func loadWarmStart(v string) (plant.GuideSet, error) {
+	if gs, err := plant.ParseGuideSet(v); err == nil {
+		return gs, nil
+	}
+	data, err := os.ReadFile(v)
+	if err != nil {
+		return plant.GuideSet{}, fmt.Errorf("warm-start: %w (and %q is not an inline guide set)", err, v)
+	}
+	var doc struct {
+		Guides   string `json:"guides"`
+		Discover *struct {
+			Guides string `json:"guides"`
+		} `json:"discover"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return plant.GuideSet{}, fmt.Errorf("warm-start %s: %w", v, err)
+	}
+	guides := doc.Guides
+	if guides == "" && doc.Discover != nil {
+		guides = doc.Discover.Guides
+	}
+	if guides == "" {
+		return plant.GuideSet{}, fmt.Errorf("warm-start %s: no \"guides\" field", v)
+	}
+	gs, err := plant.ParseGuideSet(guides)
+	if err != nil {
+		return plant.GuideSet{}, fmt.Errorf("warm-start %s: %w", v, err)
+	}
+	return gs, nil
 }
 
 func printEval(indent string, ev guide.Evaluation) {

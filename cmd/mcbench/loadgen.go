@@ -23,28 +23,33 @@ import (
 
 // loadGenConfig is the -serve-* flag block.
 type loadGenConfig struct {
-	url      string
-	clients  int
-	requests int
-	models   int // distinct models in the mix (each first POST is a miss)
-	out      string
+	url        string
+	clients    int
+	requests   int
+	models     int // distinct models in the mix (each first POST is a miss)
+	out        string
+	checkpoint time.Duration // the server's -checkpoint-every cadence, recorded in the output
 }
 
 // serveBench is the BENCH_serve.json layout.
 type serveBench struct {
-	Generated     string         `json:"generated"`
-	GoVersion     string         `json:"go_version"`
-	ServeURL      string         `json:"serve_url"`
-	Clients       int            `json:"clients"`
-	Requests      int            `json:"requests"`
-	DistinctModels int           `json:"distinct_models"`
-	Errors        int64          `json:"errors"`
-	Throttled     int64          `json:"throttled_429"`
-	SecondsTotal  float64        `json:"seconds_total"`
-	ThroughputRPS float64        `json:"throughput_rps"`
-	LatencyMS     latencyMS      `json:"latency_ms"`
-	Cache         map[string]int `json:"cache"` // hit/miss/coalesced counts as observed by clients
-	CacheHitRate  float64        `json:"cache_hit_rate"`
+	Generated      string `json:"generated"`
+	GoVersion      string `json:"go_version"`
+	ServeURL       string `json:"serve_url"`
+	Clients        int    `json:"clients"`
+	Requests       int    `json:"requests"`
+	DistinctModels int    `json:"distinct_models"`
+	// CheckpointInterval labels a durability-enabled benchmark: the
+	// cadence the server under test checkpoints running jobs at
+	// (mcserved -checkpoint-every), as passed via -checkpoint-interval.
+	CheckpointInterval string         `json:"checkpoint_interval,omitempty"`
+	Errors             int64          `json:"errors"`
+	Throttled          int64          `json:"throttled_429"`
+	SecondsTotal       float64        `json:"seconds_total"`
+	ThroughputRPS      float64        `json:"throughput_rps"`
+	LatencyMS          latencyMS      `json:"latency_ms"`
+	Cache              map[string]int `json:"cache"` // hit/miss/coalesced counts as observed by clients
+	CacheHitRate       float64        `json:"cache_hit_rate"`
 }
 
 type latencyMS struct {
@@ -165,6 +170,9 @@ func runLoadGen(cfg loadGenConfig) error {
 		LatencyMS: latencyMS{
 			P50: pct(0.50), P90: pct(0.90), P99: pct(0.99), Max: pct(1.0),
 		},
+	}
+	if cfg.checkpoint > 0 {
+		bench.CheckpointInterval = cfg.checkpoint.String()
 	}
 	if total > 0 {
 		bench.ThroughputRPS = float64(len(latencies)) / total.Seconds()

@@ -23,6 +23,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"flag"
@@ -30,6 +31,7 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -77,6 +79,17 @@ type benchCase struct {
 	// identical-length witness (the stores are required to make
 	// bit-identical subsumption decisions).
 	Agree bool `json:"agree"`
+	// CheckpointWriteMs and ResumeMs measure the durability seam on the
+	// compact configuration: the case is rerun with a checkpoint
+	// configured, canceled roughly halfway (the abort writes the
+	// checkpoint), and resumed to completion. CheckpointWriteMs is the
+	// first run's cumulative pause writing snapshots; ResumeMs the second
+	// run's load-and-seed time. ResumedAgree confirms the resumed run
+	// reached the reference verdict (and, sequentially, an
+	// identical-length witness).
+	CheckpointWriteMs float64 `json:"checkpoint_write_ms"`
+	ResumeMs          float64 `json:"resume_ms"`
+	ResumedAgree      bool    `json:"resumed_agree"`
 }
 
 type benchFile struct {
@@ -117,16 +130,18 @@ func main() {
 		requests    = flag.Int("requests", 200, "load-generator total requests")
 		serveModels = flag.Int("serve-models", 4, "load-generator distinct models in the request mix")
 		serveOut    = flag.String("serve-out", "BENCH_serve.json", "load-generator output JSON path")
+		ckptEvery   = flag.Duration("checkpoint-interval", 0, "load-generator: the server's job-checkpoint cadence (its -checkpoint-every value), recorded in BENCH_serve.json so durability-enabled serve benchmarks are labeled")
 	)
 	flag.Parse()
 
 	if *serveURL != "" {
 		if err := runLoadGen(loadGenConfig{
-			url:      *serveURL,
-			clients:  *clients,
-			requests: *requests,
-			models:   *serveModels,
-			out:      *serveOut,
+			url:        *serveURL,
+			clients:    *clients,
+			requests:   *requests,
+			models:     *serveModels,
+			out:        *serveOut,
+			checkpoint: *ckptEvery,
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "mcbench:", err)
 			os.Exit(1)
@@ -340,17 +355,80 @@ func runCase(e suiteEntry, workers, repeat int, watch, progress bool) (benchCase
 	if err != nil {
 		return benchCase{}, err
 	}
+	ckWrite, ckResume, resumedAgree, err := checkpointCycle(e, workers, cmp.Seconds, cmpRes)
+	if err != nil {
+		return benchCase{}, err
+	}
 	_, _, opts := e.build()
 	return benchCase{
-		Name:         e.name,
-		Search:       opts.Search.String(),
-		Default:      def,
-		Compact:      cmp,
-		StoreRatio:   ratio(def.StoreBytes, cmp.StoreBytes),
-		PeakMemRatio: ratio(def.PeakMemBytes, cmp.PeakMemBytes),
-		TimeRatio:    def.Seconds / cmp.Seconds,
-		Agree:        defRes.Found == cmpRes.Found && len(defRes.Trace) == len(cmpRes.Trace),
+		Name:              e.name,
+		Search:            opts.Search.String(),
+		Default:           def,
+		Compact:           cmp,
+		StoreRatio:        ratio(def.StoreBytes, cmp.StoreBytes),
+		PeakMemRatio:      ratio(def.PeakMemBytes, cmp.PeakMemBytes),
+		TimeRatio:         def.Seconds / cmp.Seconds,
+		Agree:             defRes.Found == cmpRes.Found && len(defRes.Trace) == len(cmpRes.Trace),
+		CheckpointWriteMs: ckWrite,
+		ResumeMs:          ckResume,
+		ResumedAgree:      resumedAgree,
 	}, nil
+}
+
+// checkpointCycle measures the checkpoint/resume seam on the compact
+// configuration: the case runs with a checkpoint path set and is canceled
+// roughly halfway through the reference duration — the abort writes the
+// checkpoint — then a second run resumes it to completion. If the first
+// run finishes before the deadline the checkpoint is removed on
+// completion and the second run is simply a fresh one (resume_ms 0);
+// that happens on the fastest cases and is harmless.
+func checkpointCycle(e suiteEntry, workers int, refSeconds float64, ref mc.Result) (writeMs, resumeMs float64, agree bool, err error) {
+	if _, _, opts := e.build(); opts.Search == mc.BSH {
+		// The sweep-line store discards covered states and cannot be
+		// checkpointed (mc.Options rejects the combination).
+		return 0, 0, true, nil
+	}
+	dir, err := os.MkdirTemp("", "mcbench-ckpt-")
+	if err != nil {
+		return 0, 0, false, err
+	}
+	defer os.RemoveAll(dir)
+	build := func() (*ta.System, mc.Goal, mc.Options) {
+		sys, goal, opts := e.build()
+		opts.Compact = true
+		opts.Workers = workers
+		opts.MaxStates = e.maxStates
+		opts.Checkpoint = mc.CheckpointOptions{
+			Path:   filepath.Join(dir, "case.ckpt"),
+			Resume: true,
+		}
+		return sys, goal, opts
+	}
+	half := time.Duration(refSeconds / 2 * float64(time.Second))
+	if half < 5*time.Millisecond {
+		half = 5 * time.Millisecond
+	}
+	sys, goal, opts := build()
+	ctx, cancel := context.WithTimeout(context.Background(), half)
+	res1, err := mc.ExploreContext(ctx, sys, goal, opts)
+	cancel()
+	if err != nil {
+		return 0, 0, false, fmt.Errorf("checkpoint run: %w", err)
+	}
+	writeMs = float64(res1.Stats.CheckpointTime.Nanoseconds()) / 1e6
+	sys, goal, opts = build()
+	res2, err := mc.ExploreContext(context.Background(), sys, goal, opts)
+	if err != nil {
+		return 0, 0, false, fmt.Errorf("resume run: %w", err)
+	}
+	resumeMs = float64(res2.Stats.ResumeTime.Nanoseconds()) / 1e6
+	agree = res2.Found == ref.Found
+	if workers <= 1 {
+		// Sequential resume is bit-identical, witness included; parallel
+		// resume only promises verdict agreement.
+		agree = agree && len(res2.Trace) == len(ref.Trace)
+	}
+	return writeMs, resumeMs, agree, nil
 }
 
 func ratio(a, b int64) float64 {

@@ -53,6 +53,8 @@ func main() {
 		snapshot     = flag.Duration("snapshot-every", 250*time.Millisecond, "progress snapshot interval for event streams and reports")
 		pprofAddr    = flag.String("pprof", "", "also serve net/http/pprof and expvar on this address, e.g. localhost:6060")
 		quiet        = flag.Bool("quiet", false, "suppress per-job log lines")
+		ckptDir      = flag.String("checkpoint-dir", "", "make running jobs durable: write resumable search checkpoints (keyed by cache key) here on drain/timeout aborts, and resume them on resubmission — also after a restart")
+		ckptEvery    = flag.Duration("checkpoint-every", 0, "additionally checkpoint running jobs at this cadence (0 = abort-time only; requires -checkpoint-dir)")
 	)
 	flag.Parse()
 
@@ -61,13 +63,21 @@ func main() {
 	if *quiet {
 		logf = nil
 	}
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			logger.Printf("checkpoint dir: %v", err)
+			os.Exit(1)
+		}
+	}
 	srv := serve.New(serve.Config{
-		Workers:       *workers,
-		QueueDepth:    *queueDepth,
-		JobTimeout:    *jobTimeout,
-		SnapshotEvery: *snapshot,
-		CacheSize:     *cacheSize,
-		Logf:          logf,
+		Workers:         *workers,
+		QueueDepth:      *queueDepth,
+		JobTimeout:      *jobTimeout,
+		SnapshotEvery:   *snapshot,
+		CacheSize:       *cacheSize,
+		CheckpointDir:   *ckptDir,
+		CheckpointEvery: *ckptEvery,
+		Logf:            logf,
 	})
 	expvar.Publish("mcserve", srv.StatusVar())
 	if *pprofAddr != "" {

@@ -14,6 +14,7 @@ import (
 
 	"guidedta/internal/mc"
 	"guidedta/internal/ta"
+	"guidedta/internal/tadsl"
 )
 
 // SearchFlags holds the parsed values of the shared search flag block.
@@ -35,6 +36,12 @@ type SearchFlags struct {
 	Progress      bool
 	Report        string
 	SnapshotEvery time.Duration
+	// Checkpoint/CheckpointInterval/Resume configure durable search state
+	// (mc.Options.Checkpoint): a checkpoint file, the periodic write
+	// cadence, and whether to seed the run from an existing file.
+	Checkpoint         string
+	CheckpointInterval time.Duration
+	Resume             bool
 }
 
 // AddSearchFlags registers the shared search flag block on fs, taking
@@ -96,6 +103,15 @@ func AddSearchFlags(fs *flag.FlagSet, def mc.Options, omit ...string) *SearchFla
 	add("snapshot-every", func() {
 		fs.DurationVar(&f.SnapshotEvery, "snapshot-every", 500*time.Millisecond, "progress snapshot interval (used by -progress and -report)")
 	})
+	add("checkpoint", func() {
+		fs.StringVar(&f.Checkpoint, "checkpoint", "", "write a resumable search checkpoint to this file on abort (timeout, limits, ^C) and, with -checkpoint-interval, periodically")
+	})
+	add("checkpoint-interval", func() {
+		fs.DurationVar(&f.CheckpointInterval, "checkpoint-interval", 0, "periodic checkpoint cadence (0 = abort-time only; requires -checkpoint)")
+	})
+	add("resume", func() {
+		fs.BoolVar(&f.Resume, "resume", false, "seed the search from the -checkpoint file when it exists (same model and options required)")
+	})
 	return f
 }
 
@@ -123,6 +139,11 @@ func (f *SearchFlags) Options() (mc.Options, error) {
 	opts.MaxMemory = f.MaxMemoryMB << 20
 	opts.Timeout = f.Timeout
 	opts.Profile = f.Stats || f.Report != ""
+	opts.Checkpoint = mc.CheckpointOptions{
+		Path:     f.Checkpoint,
+		Interval: f.CheckpointInterval,
+		Resume:   f.Resume,
+	}
 	return opts, nil
 }
 
@@ -133,6 +154,13 @@ func (f *SearchFlags) Options() (mc.Options, error) {
 // -report was not given. name labels the run inside the report; sys and
 // goal (both optional) identify the model.
 func (f *SearchFlags) Instrument(tool, name string, opts *mc.Options, sys *ta.System, goal *mc.Goal) *Report {
+	if opts.Checkpoint.Path != "" && opts.Checkpoint.ModelSHA == "" && sys != nil && goal != nil {
+		// Stamp the model digest into checkpoints so a resume against a
+		// different model fails loudly instead of exploring garbage.
+		if sha, err := tadsl.Hash(sys, goal); err == nil {
+			opts.Checkpoint.ModelSHA = sha
+		}
+	}
 	var obs []mc.Observer
 	var rep *Report
 	if f.Progress {

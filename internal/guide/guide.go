@@ -112,6 +112,13 @@ type Options struct {
 	// Observer, when non-nil, additionally receives the oracle's periodic
 	// Snapshots of every probe (composed with the search's own observer).
 	Observer mc.Observer
+	// WarmStart, when non-nil, seeds the greedy climb with a prior
+	// winner's guide set (e.g. the best set a previous discovery run or a
+	// smaller instance produced): it is probed right after the baseline
+	// and anchor, and the climb continues from it when it scores better
+	// than the empty set. The search still explores additions and prunes,
+	// so a stale warm start costs one probe, never the answer.
+	WarmStart *plant.GuideSet
 }
 
 // Progress is one search progress event.

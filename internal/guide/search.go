@@ -99,6 +99,18 @@ func Search(ctx context.Context, cfg plant.Config, opt Options) (*Result, error)
 	rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 
 	current := *baseline
+	if opt.WarmStart != nil && !opt.WarmStart.Empty() {
+		// Warm start: probe the prior winner and climb from it when it
+		// beats the baseline. Forward selection only ever adds families, so
+		// without this seam every run re-pays the climb to a known-good set.
+		ws, err := s.probe(*opt.WarmStart)
+		if err != nil && err != errBudget {
+			return s.res, err
+		}
+		if err == nil && better(ws, &current) {
+			current = *ws
+		}
+	}
 	for {
 		var best *Evaluation
 		for _, c := range order {

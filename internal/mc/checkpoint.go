@@ -1,0 +1,627 @@
+package mc
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"guidedta/internal/dbm"
+	"guidedta/internal/snapshot"
+)
+
+// CheckpointOptions configures durable checkpoint/resume of a search (see
+// Options.Checkpoint). A checkpoint captures the passed store, the
+// frontier in exact order, the retained search tree, and cumulative stats
+// at a safe point between state expansions; resuming from it continues the
+// exploration to the same verdict and — for sequential runs — the
+// bit-identical witness trace an uninterrupted run would have produced.
+type CheckpointOptions struct {
+	// Path is the checkpoint file. Setting it enables checkpointing: a
+	// final snapshot is written whenever the search aborts (timeout,
+	// cancellation — e.g. a serve drain —, state or memory limit), and the
+	// file is removed when the search completes with an answer. Not
+	// supported for the BSH order (the bit table stores only hashes).
+	Path string
+	// Interval additionally writes periodic snapshots every Interval of
+	// search time (0 = abort-time snapshots only). The parallel search
+	// quiesces its workers at a barrier for each write; the sequential
+	// search writes at the top of its expansion loop.
+	Interval time.Duration
+	// Resume seeds the search from an existing checkpoint at Path instead
+	// of the initial state. A missing file falls back to a fresh start; a
+	// corrupt, truncated, version-mismatched, or wrong-model/wrong-options
+	// checkpoint fails the run with an error wrapping ErrResume.
+	Resume bool
+	// ModelSHA, when set, is recorded in checkpoints and verified on
+	// resume — the canonical model digest (tadsl.Hash) of the layer that
+	// knows the model's source form. Empty disables the check. It is not
+	// part of the canonical options JSON.
+	ModelSHA string
+}
+
+func (c CheckpointOptions) enabled() bool { return c.Path != "" }
+
+// ErrResume wraps every checkpoint-resume failure (corrupt or truncated
+// file, format version mismatch, wrong model, wrong options), so callers
+// that own the checkpoint lifecycle — mcserved deletes the file and reruns
+// from scratch — can distinguish it from model or engine errors.
+var ErrResume = errors.New("mc: checkpoint resume failed")
+
+// checkpointer is the per-run checkpoint state shared by the sequential
+// and parallel searches: the write/resume bookkeeping plus the periodic
+// request flag a ticker goroutine raises (sampler-style) and the search
+// loop consumes at its safe point with one atomic load.
+type checkpointer struct {
+	opts  *Options
+	canon []byte // canonical options JSON, the resume-identity half
+
+	req  atomic.Bool
+	quit chan struct{}
+	done chan struct{}
+
+	writes      int
+	writeTime   time.Duration
+	resumeTime  time.Duration
+	baseElapsed time.Duration // search time accumulated before the resume
+}
+
+// newCheckpointer returns nil when checkpointing is disabled. opts must
+// already be normalized (the search loops' engine options are).
+func newCheckpointer(opts *Options) (*checkpointer, error) {
+	if !opts.Checkpoint.enabled() {
+		return nil, nil
+	}
+	canon, err := opts.CanonicalJSON()
+	if err != nil {
+		return nil, err
+	}
+	return &checkpointer{opts: opts, canon: canon}, nil
+}
+
+// startTicker raises the periodic snapshot request every Interval; stop
+// joins the goroutine. With Interval 0 the flag is never raised and the
+// search only writes abort-time snapshots.
+func (ck *checkpointer) startTicker() {
+	if ck.opts.Checkpoint.Interval <= 0 {
+		return
+	}
+	ck.quit = make(chan struct{})
+	ck.done = make(chan struct{})
+	go func() {
+		defer close(ck.done)
+		t := time.NewTicker(ck.opts.Checkpoint.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				ck.req.Store(true)
+			case <-ck.quit:
+				return
+			}
+		}
+	}()
+}
+
+func (ck *checkpointer) stopTicker() {
+	if ck.quit != nil {
+		close(ck.quit)
+		<-ck.done
+		ck.quit = nil
+	}
+}
+
+// write stamps the identity header onto cp and persists it atomically.
+func (ck *checkpointer) write(cp *snapshot.Checkpoint) error {
+	t0 := time.Now()
+	cp.ModelSHA = ck.opts.Checkpoint.ModelSHA
+	cp.Options = ck.canon
+	err := snapshot.Write(ck.opts.Checkpoint.Path, cp)
+	ck.writeTime += time.Since(t0)
+	if err != nil {
+		return fmt.Errorf("mc: writing checkpoint: %w", err)
+	}
+	ck.writes++
+	return nil
+}
+
+// finish removes the checkpoint file after a search that completed with an
+// answer: the snapshot's job — surviving interruption — is done, and a
+// stale file must not seed an unrelated later run.
+func (ck *checkpointer) finish() {
+	os.Remove(ck.opts.Checkpoint.Path)
+}
+
+// stamp folds the checkpoint bookkeeping into the final stats.
+func (ck *checkpointer) stamp(st *Stats) {
+	st.Duration += ck.baseElapsed
+	st.CheckpointWrites = ck.writes
+	st.CheckpointTime = ck.writeTime
+	st.ResumeTime = ck.resumeTime
+}
+
+// load reads and identity-checks the checkpoint for a resume. A missing
+// file returns (nil, nil) — fresh start; every other failure wraps
+// ErrResume.
+func (ck *checkpointer) load() (*snapshot.Checkpoint, error) {
+	cp, err := snapshot.Load(ck.opts.Checkpoint.Path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("%w: %v", ErrResume, err)
+	}
+	if sha := ck.opts.Checkpoint.ModelSHA; sha != "" && cp.ModelSHA != "" && sha != cp.ModelSHA {
+		return nil, fmt.Errorf("%w: checkpoint is for model sha256 %s, this run is %s", ErrResume, cp.ModelSHA, sha)
+	}
+	if !bytes.Equal(cp.Options, ck.canon) {
+		return nil, fmt.Errorf("%w: checkpoint options %s differ from this run's %s", ErrResume, cp.Options, ck.canon)
+	}
+	return cp, nil
+}
+
+// checkpointStore is the store-side checkpoint seam: every retaining store
+// (mapStore, compactStore, and their sharded wrapper) implements it; the
+// bit table does not, and normalize rejects checkpointing for BSH.
+type checkpointStore interface {
+	forEachNode(fn func(n *node))
+	seed(key []byte, n *node)
+	setEvictions(v int64)
+}
+
+// captureState assembles a Checkpoint from a quiesced search: every store
+// entry in the store's deterministic order, the frontier in pop-structure
+// order, the ancestor chains both need for trace reconstruction, and the
+// cumulative counters. The caller owns identity stamping (see write).
+func captureState(store stateStore, frontNodes []*node, prios []int64, st snapshot.Stats) (*snapshot.Checkpoint, error) {
+	cs, ok := store.(checkpointStore)
+	if !ok {
+		return nil, fmt.Errorf("mc: store kind %T is not checkpointable", store)
+	}
+	cp := &snapshot.Checkpoint{Stats: st}
+	index := make(map[*node]int32)
+	var chain []*node
+	// add indexes n and any unseen ancestors (root-first, iteratively — DFS
+	// parent chains can be thousands deep) and returns n's index.
+	add := func(n *node) int32 {
+		if ix, ok := index[n]; ok {
+			return ix
+		}
+		chain = chain[:0]
+		for c := n; c != nil; c = c.parent {
+			if _, ok := index[c]; ok {
+				break
+			}
+			chain = append(chain, c)
+		}
+		for i := len(chain) - 1; i >= 0; i-- {
+			c := chain[i]
+			sn := snapshot.Node{
+				Parent: -1,
+				Depth:  int32(c.depth),
+				Via: [5]int32{
+					int32(c.via.Chan), int32(c.via.A1), int32(c.via.E1),
+					int32(c.via.A2), int32(c.via.E2),
+				},
+				Subsumed: c.subsumed.Load(),
+			}
+			if c.parent != nil {
+				sn.Parent = index[c.parent]
+			}
+			index[c] = int32(len(cp.Nodes))
+			cp.Nodes = append(cp.Nodes, sn)
+		}
+		return index[n]
+	}
+
+	var fillErr error
+	cs.forEachNode(func(n *node) {
+		ix := add(n)
+		if err := fillNodeState(&cp.Nodes[ix], n); err != nil && fillErr == nil {
+			fillErr = err
+		}
+		cp.Store = append(cp.Store, ix)
+	})
+	if fillErr != nil {
+		return nil, fillErr
+	}
+	for i, n := range frontNodes {
+		ix := add(n)
+		sn := &cp.Nodes[ix]
+		if !sn.HasState && !sn.Subsumed {
+			// Unreachable today — a live frontier node is always a store
+			// entry — but capture its state rather than corrupt the file.
+			if err := fillNodeState(sn, n); err != nil {
+				return nil, err
+			}
+		}
+		fe := snapshot.FrontierEntry{Node: ix}
+		if prios != nil {
+			fe.Prio = prios[i]
+		}
+		cp.Frontier = append(cp.Frontier, fe)
+	}
+	return cp, nil
+}
+
+// fillNodeState captures a node's discrete state and zone (whichever form
+// it currently holds; quiesced compact-store nodes hold the minimal form).
+func fillNodeState(sn *snapshot.Node, n *node) error {
+	sn.HasState = true
+	sn.Locs, sn.Env = n.locs, n.env
+	switch {
+	case n.czone != nil:
+		sn.Zone = snapshot.Zone{
+			Kind: snapshot.ZoneCompact,
+			Dim:  n.czone.Dim(),
+			Cons: n.czone.AppendConstraints(nil),
+		}
+	case n.zone != nil:
+		sn.Zone = snapshot.Zone{
+			Kind:   snapshot.ZoneFull,
+			Dim:    n.zone.Dim(),
+			Bounds: n.zone.AppendBounds(nil),
+		}
+	default:
+		return fmt.Errorf("mc: checkpoint: stored node holds no zone in either form")
+	}
+	return nil
+}
+
+// resumedState is a checkpoint rebuilt into live engine structures.
+type resumedState struct {
+	frontier []*node
+	prios    []int64
+	stats    snapshot.Stats
+}
+
+// seedFromCheckpoint rebuilds the search tree, seeds the store in the
+// saved order (reproducing every bucket's antichain order exactly), and
+// returns the frontier in saved order. compact says which zone form the
+// store expects; the canonical-options equality check has already
+// guaranteed agreement for well-formed files, so a mismatch here means
+// corruption that slipped past the structural checks.
+func seedFromCheckpoint(cp *snapshot.Checkpoint, store stateStore, compact bool) (*resumedState, error) {
+	cs, ok := store.(checkpointStore)
+	if !ok {
+		return nil, fmt.Errorf("mc: store kind %T is not checkpointable", store)
+	}
+	nodes := make([]*node, len(cp.Nodes))
+	for i := range nodes {
+		nodes[i] = &node{}
+	}
+	for i := range cp.Nodes {
+		sn := &cp.Nodes[i]
+		n := nodes[i]
+		n.depth = int(sn.Depth)
+		n.via = Transition{
+			Chan: int(sn.Via[0]), A1: int(sn.Via[1]), E1: int(sn.Via[2]),
+			A2: int(sn.Via[3]), E2: int(sn.Via[4]),
+		}
+		if sn.Parent >= 0 {
+			n.parent = nodes[sn.Parent]
+		}
+		if sn.Subsumed {
+			n.subsumed.Store(true)
+		}
+		if !sn.HasState {
+			continue
+		}
+		n.locs, n.env = sn.Locs, sn.Env
+		switch sn.Zone.Kind {
+		case snapshot.ZoneFull:
+			z, err := dbm.FromBounds(sn.Zone.Dim, sn.Zone.Bounds)
+			if err != nil {
+				return nil, fmt.Errorf("%w: node %d: %v", ErrResume, i, err)
+			}
+			n.zone = z
+		case snapshot.ZoneCompact:
+			cz, err := dbm.NewCompact(sn.Zone.Dim, sn.Zone.Cons)
+			if err != nil {
+				return nil, fmt.Errorf("%w: node %d: %v", ErrResume, i, err)
+			}
+			n.czone = cz
+		}
+	}
+	var keyBuf []byte
+	for _, ix := range cp.Store {
+		n := nodes[ix]
+		switch {
+		case n.locs == nil:
+			return nil, fmt.Errorf("%w: store entry %d has no discrete state", ErrResume, ix)
+		case compact && n.czone == nil:
+			return nil, fmt.Errorf("%w: store entry %d lacks the compact zone this store needs", ErrResume, ix)
+		case !compact && n.zone == nil:
+			return nil, fmt.Errorf("%w: store entry %d lacks the full zone this store needs", ErrResume, ix)
+		}
+		keyBuf = discreteKey(keyBuf[:0], n.locs, n.env)
+		cs.seed(keyBuf, n)
+	}
+	cs.setEvictions(cp.Stats.Evictions)
+	rs := &resumedState{
+		frontier: make([]*node, len(cp.Frontier)),
+		prios:    make([]int64, len(cp.Frontier)),
+		stats:    cp.Stats,
+	}
+	for i, fe := range cp.Frontier {
+		n := nodes[fe.Node]
+		if !n.subsumed.Load() && n.zone == nil && n.czone == nil {
+			return nil, fmt.Errorf("%w: live frontier entry %d has no zone", ErrResume, fe.Node)
+		}
+		rs.frontier[i] = n
+		rs.prios[i] = fe.Prio
+	}
+	return rs, nil
+}
+
+// resume loads, validates, and seeds a checkpoint, updating the
+// checkpointer's cumulative bookkeeping. It returns nil (fresh start) when
+// no checkpoint exists.
+func (ck *checkpointer) resume(store stateStore) (*resumedState, error) {
+	if !ck.opts.Checkpoint.Resume {
+		return nil, nil
+	}
+	t0 := time.Now()
+	cp, err := ck.load()
+	if cp == nil || err != nil {
+		return nil, err
+	}
+	rs, err := seedFromCheckpoint(cp, store, ck.opts.Compact)
+	if err != nil {
+		return nil, err
+	}
+	ck.resumeTime = time.Since(t0)
+	ck.baseElapsed = time.Duration(rs.stats.DurationNS)
+	ck.writes = int(rs.stats.CheckpointWrites)
+	ck.writeTime = time.Duration(rs.stats.CheckpointNS)
+	return rs, nil
+}
+
+// frontierState exposes a frontier's contents in its exact pop-structure
+// order: FIFO front-to-back, LIFO bottom-to-top, and the BestTime heap as
+// its raw array alongside the priorities — restored verbatim, the heap
+// breaks ties identically to the uninterrupted run.
+func frontierState(f frontier) (nodes []*node, prios []int64) {
+	switch fr := f.(type) {
+	case *fifoFrontier:
+		return fr.q[fr.head:], nil
+	case *lifoFrontier:
+		return fr.q, nil
+	case *heapFrontier:
+		return fr.hp.nodes, fr.hp.prio
+	}
+	return nil, nil
+}
+
+// restoreFrontier is frontierState's inverse over a freshly built frontier.
+func restoreFrontier(f frontier, nodes []*node, prios []int64) {
+	switch fr := f.(type) {
+	case *fifoFrontier:
+		fr.q = nodes
+		fr.head = 0
+	case *lifoFrontier:
+		fr.q = nodes
+	case *heapFrontier:
+		fr.hp.nodes = nodes
+		if len(prios) != len(nodes) {
+			prios = make([]int64, len(nodes))
+		}
+		fr.hp.prio = prios
+	}
+}
+
+// applyStats seeds the sequential loop's counters from a checkpoint.
+// nAutomata sizes the profile slice so the loop's per-automaton increments
+// stay in bounds even against a short (older-model) profile vector.
+func applyStats(st *Stats, s snapshot.Stats, nAutomata int) {
+	st.StatesExplored = int(s.StatesExplored)
+	st.Transitions = int(s.Transitions)
+	st.Deadends = int(s.Deadends)
+	st.MaxDepth = int(s.MaxDepth)
+	st.PeakWaiting = int(s.PeakWaiting)
+	if len(s.ByAutomaton) > 0 {
+		n := len(s.ByAutomaton)
+		if nAutomata > n {
+			n = nAutomata
+		}
+		st.ByAutomaton = make([]int, n)
+		for i, v := range s.ByAutomaton {
+			st.ByAutomaton[i] = int(v)
+		}
+	}
+}
+
+// saveSeq captures and writes a sequential-search checkpoint at the
+// expansion-loop safe point.
+func (ck *checkpointer) saveSeq(store stateStore, front frontier, st *Stats, peakMem int64, elapsed time.Duration) error {
+	nodes, prios := frontierState(front)
+	ss := store.stats()
+	snapStats := snapshot.Stats{
+		StatesExplored:   int64(st.StatesExplored),
+		Transitions:      int64(st.Transitions),
+		Deadends:         int64(st.Deadends),
+		MaxDepth:         int64(st.MaxDepth),
+		PeakWaiting:      int64(st.PeakWaiting),
+		Evictions:        ss.evictions,
+		PeakMemBytes:     peakMem,
+		DurationNS:       int64(ck.baseElapsed + elapsed),
+		CheckpointWrites: int64(ck.writes),
+		CheckpointNS:     int64(ck.writeTime),
+	}
+	if len(st.ByAutomaton) > 0 {
+		snapStats.ByAutomaton = make([]int64, len(st.ByAutomaton))
+		for i, v := range st.ByAutomaton {
+			snapStats.ByAutomaton[i] = int64(v)
+		}
+	}
+	cp, err := captureState(store, nodes, prios, snapStats)
+	if err != nil {
+		return err
+	}
+	return ck.write(cp)
+}
+
+// parCheckpointer is the parallel search's quiesce barrier: when the
+// periodic request flag is up, every live worker parks at the top of its
+// loop (a safe point — no node is mid-expansion, every published successor
+// is store-added), the last arriver writes the checkpoint, and all resume.
+// A worker that exits (stop, exhaustion, or a model-expression panic)
+// leaves the barrier population via workerExit so parked workers are never
+// stranded waiting for it.
+type parCheckpointer struct {
+	ck *checkpointer
+	ps *parSearch
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	gen     uint64
+	parked  int
+	active  int
+	saveErr error
+}
+
+// pending is the workers' one-atomic-load hot-path check.
+func (pc *parCheckpointer) pending() bool { return pc.ck.req.Load() }
+
+// park blocks the calling worker at the barrier until the round's
+// checkpoint has been written (the request flag stays up until then, so
+// every worker reaching its loop top joins the same round).
+func (pc *parCheckpointer) park() {
+	pc.mu.Lock()
+	gen := pc.gen
+	pc.parked++
+	if pc.parked == pc.active {
+		pc.completeLocked()
+	} else {
+		for gen == pc.gen {
+			pc.cond.Wait()
+		}
+	}
+	pc.mu.Unlock()
+}
+
+// workerExit removes a worker from the barrier population; if it was the
+// last straggler of an in-progress round, the round completes now.
+func (pc *parCheckpointer) workerExit() {
+	pc.mu.Lock()
+	pc.active--
+	if pc.parked > 0 && pc.parked == pc.active {
+		pc.completeLocked()
+	}
+	pc.mu.Unlock()
+}
+
+// completeLocked (mu held) consumes the request, writes the checkpoint
+// unless the search is already stopping (the coordinator writes the final
+// abort-time checkpoint after the join instead), and releases the round.
+func (pc *parCheckpointer) completeLocked() {
+	pc.ck.req.Store(false)
+	if !pc.ps.stop.Load() {
+		if err := pc.ps.saveParallel(pc.ck); err != nil && pc.saveErr == nil {
+			pc.saveErr = err
+		}
+	}
+	pc.gen++
+	pc.parked = 0
+	pc.cond.Broadcast()
+}
+
+// takeErr surfaces the first barrier-round write failure after the join.
+func (pc *parCheckpointer) takeErr() error {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.saveErr
+}
+
+// saveParallel captures and writes a checkpoint of a quiesced parallel
+// search (all workers parked at the barrier, or joined after the run).
+// Frontier nodes are gathered deque by deque, head to tail; resuming
+// scatters them round-robin, so parallel resume preserves the verdict and
+// abort semantics rather than a specific traversal order — which parallel
+// runs never had.
+func (ps *parSearch) saveParallel(ck *checkpointer) error {
+	var frontNodes []*node
+	for i := range ps.deques {
+		d := &ps.deques[i]
+		d.mu.Lock()
+		frontNodes = append(frontNodes, d.q[d.head:]...)
+		d.mu.Unlock()
+	}
+	ss := ps.store.stats()
+	st := snapshot.Stats{
+		StatesExplored:   ps.explored.Load(),
+		PeakWaiting:      ps.peakWaiting.Load(),
+		Steals:           ps.steals.Load(),
+		Evictions:        ss.evictions,
+		DurationNS:       int64(ck.baseElapsed + time.Since(ps.start)),
+		CheckpointWrites: int64(ck.writes),
+		CheckpointNS:     int64(ck.writeTime),
+	}
+	peakStore := ss.bytes
+	for i := range ps.workers {
+		w := &ps.workers[i]
+		st.Transitions += int64(w.transitions)
+		st.Deadends += int64(w.deadends)
+		if int64(w.maxDepth) > st.MaxDepth {
+			st.MaxDepth = int64(w.maxDepth)
+		}
+		if w.peakStoreBytes > peakStore {
+			peakStore = w.peakStoreBytes
+		}
+		if w.byAutomaton != nil {
+			if st.ByAutomaton == nil {
+				st.ByAutomaton = make([]int64, len(ps.en.sys.Automata))
+			}
+			for ai, c := range w.byAutomaton {
+				st.ByAutomaton[ai] += int64(c)
+			}
+		}
+	}
+	st.PeakMemBytes = peakStore
+	cp, err := captureState(ps.store, frontNodes, nil, st)
+	if err != nil {
+		return err
+	}
+	return ck.write(cp)
+}
+
+// seedResumed scatters a restored frontier round-robin across the worker
+// deques (preserving relative order within each deque) and seeds the
+// shared counters cumulatively; per-worker scalar counters land on worker
+// 0, which only shifts the Profile attribution, not the totals.
+func (ps *parSearch) seedResumed(rs *resumedState) {
+	per := make([][]*node, len(ps.deques))
+	for i, n := range rs.frontier {
+		w := i % len(per)
+		per[w] = append(per[w], n)
+	}
+	for i, batch := range per {
+		if len(batch) > 0 {
+			ps.deques[i].pushBatch(batch)
+		}
+	}
+	total := int64(len(rs.frontier))
+	ps.pending.Store(total)
+	ps.waiting.Store(total)
+	ps.peakWaiting.Store(rs.stats.PeakWaiting)
+	updateMax(&ps.peakWaiting, total)
+	ps.explored.Store(rs.stats.StatesExplored)
+	ps.steals.Store(rs.stats.Steals)
+	w0 := &ps.workers[0]
+	w0.transitions = int(rs.stats.Transitions)
+	w0.deadends = int(rs.stats.Deadends)
+	w0.maxDepth = int(rs.stats.MaxDepth)
+	w0.peakStoreBytes = rs.stats.PeakMemBytes
+	if len(rs.stats.ByAutomaton) > 0 {
+		w0.byAutomaton = make([]int, len(ps.en.sys.Automata))
+		for i, v := range rs.stats.ByAutomaton {
+			if i < len(w0.byAutomaton) {
+				w0.byAutomaton[i] = int(v)
+			}
+		}
+	}
+}

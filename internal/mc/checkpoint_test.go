@@ -1,0 +1,288 @@
+// Checkpoint/resume tests: a search killed mid-exploration and resumed
+// from its checkpoint must reach the same verdict as an uninterrupted run
+// — with a bit-identical witness trace and effort counters for the
+// sequential engine, verdict agreement for the parallel one — across both
+// store kinds and all three checkpointable search orders. Cancellation is
+// triggered from an observer after a fixed number of visits (see
+// cancel_test.go), so the abort point is deterministic, not
+// timing-dependent.
+package mc_test
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"guidedta/internal/mc"
+	"guidedta/internal/ta"
+)
+
+// ckptModel picks the matrix model per order: the broken Fischer instance
+// (goal reachable, non-trivial search) for BFS/DFS, the job-shop for
+// BestTime (it needs a time clock).
+func ckptModel(t testing.TB, order mc.SearchOrder) (*ta.System, mc.Goal, mc.Options) {
+	t.Helper()
+	if order == mc.BestTime {
+		sys, goal := jobshopModel(t)
+		opts := mc.DefaultOptions(mc.BestTime)
+		opts.TimeClock = 1
+		opts.TimeHorizon = 64
+		return sys, goal, opts
+	}
+	sys, goal := fischerModel(t, 4, false)
+	return sys, goal, mc.DefaultOptions(order)
+}
+
+// TestCheckpointResumeBitIdentical kills a sequential search roughly
+// halfway (the abort writes the checkpoint) and resumes it: verdict,
+// witness trace, and cumulative explored count must equal the
+// uninterrupted reference exactly, for both stores and all orders.
+func TestCheckpointResumeBitIdentical(t *testing.T) {
+	for _, order := range []mc.SearchOrder{mc.BFS, mc.DFS, mc.BestTime} {
+		for _, compact := range []bool{false, true} {
+			name := order.String()
+			if compact {
+				name += "-compact"
+			}
+			t.Run(name, func(t *testing.T) {
+				sys, goal, opts := ckptModel(t, order)
+				opts.Compact = compact
+				ref, err := mc.Explore(sys, goal, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ref.Stats.StatesExplored < 20 {
+					t.Fatalf("reference explored only %d states; model too small to interrupt", ref.Stats.StatesExplored)
+				}
+
+				path := filepath.Join(t.TempDir(), "run.ckpt")
+				sys, goal, opts = ckptModel(t, order)
+				opts.Compact = compact
+				opts.Checkpoint = mc.CheckpointOptions{Path: path, Resume: true}
+				ctx, cancel := context.WithCancel(context.Background())
+				defer cancel()
+				obs, _ := cancelAfter(int64(ref.Stats.StatesExplored/2), cancel)
+				opts.Observer = obs
+				res1, err := mc.ExploreContext(ctx, sys, goal, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res1.Abort != mc.AbortCanceled {
+					t.Fatalf("interrupted run aborted %q, want canceled", res1.Abort)
+				}
+				if res1.Stats.CheckpointWrites < 1 {
+					t.Fatalf("abort wrote %d checkpoints, want >= 1", res1.Stats.CheckpointWrites)
+				}
+				if _, err := os.Stat(path); err != nil {
+					t.Fatalf("checkpoint file after abort: %v", err)
+				}
+
+				sys, goal, opts = ckptModel(t, order)
+				opts.Compact = compact
+				opts.Checkpoint = mc.CheckpointOptions{Path: path, Resume: true}
+				res2, err := mc.Explore(sys, goal, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !res2.Resumed {
+					t.Fatal("second run did not resume from the checkpoint")
+				}
+				if res2.Found != ref.Found {
+					t.Fatalf("resumed verdict %v, reference %v", res2.Found, ref.Found)
+				}
+				if !reflect.DeepEqual(res2.Trace, ref.Trace) {
+					t.Fatalf("resumed trace differs from reference (%d vs %d transitions)",
+						len(res2.Trace), len(ref.Trace))
+				}
+				if res2.Stats.StatesExplored != ref.Stats.StatesExplored {
+					t.Fatalf("resumed run explored %d states cumulatively, reference %d",
+						res2.Stats.StatesExplored, ref.Stats.StatesExplored)
+				}
+				if res2.Stats.ResumeTime <= 0 {
+					t.Fatal("resumed run reports no ResumeTime")
+				}
+				// A completed answer deletes its checkpoint — a later run
+				// must not resurrect finished state.
+				if _, err := os.Stat(path); !os.IsNotExist(err) {
+					t.Fatalf("checkpoint not removed after completion: %v", err)
+				}
+			})
+		}
+	}
+}
+
+// TestCheckpointParallelResume does the same interrupt/resume cycle with
+// four workers; the parallel engine promises verdict agreement (traces
+// and per-worker counters are scheduling-dependent).
+func TestCheckpointParallelResume(t *testing.T) {
+	for _, compact := range []bool{false, true} {
+		for _, order := range []mc.SearchOrder{mc.BFS, mc.DFS} {
+			name := order.String()
+			if compact {
+				name += "-compact"
+			}
+			t.Run(name, func(t *testing.T) {
+				// The safe instance: exhaustive, thousands of states, so the
+				// cancel at 300 visits always lands mid-search instead of
+				// racing the goal.
+				sys, goal := fischerModel(t, 5, true)
+				opts := mc.DefaultOptions(order)
+				opts.Workers = 4
+				opts.Compact = compact
+				ref, err := mc.Explore(sys, goal, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				path := filepath.Join(t.TempDir(), "par.ckpt")
+				sys, goal = fischerModel(t, 5, true)
+				opts.Checkpoint = mc.CheckpointOptions{Path: path, Resume: true}
+				ctx, cancel := context.WithCancel(context.Background())
+				defer cancel()
+				obs, _ := cancelAfter(300, cancel)
+				opts.Observer = obs
+				res1, err := mc.ExploreContext(ctx, sys, goal, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res1.Abort != mc.AbortCanceled {
+					t.Fatalf("interrupted run aborted %q, want canceled", res1.Abort)
+				}
+
+				sys, goal = fischerModel(t, 5, true)
+				opts.Observer = nil
+				res2, err := mc.Explore(sys, goal, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !res2.Resumed {
+					t.Fatal("second run did not resume from the checkpoint")
+				}
+				if res2.Found != ref.Found {
+					t.Fatalf("resumed verdict %v, reference %v", res2.Found, ref.Found)
+				}
+				if res2.Stats.StatesExplored < res1.Stats.StatesExplored {
+					t.Fatalf("cumulative explored went backwards: %d after resume, %d at abort",
+						res2.Stats.StatesExplored, res1.Stats.StatesExplored)
+				}
+			})
+		}
+	}
+}
+
+// TestCheckpointPeriodicInterval runs an exhaustive search with a short
+// checkpoint cadence: ticked writes must not perturb the result, and the
+// completed run must clean its file up.
+func TestCheckpointPeriodicInterval(t *testing.T) {
+	sys, goal := fischerModel(t, 4, true)
+	opts := mc.DefaultOptions(mc.BFS)
+	ref, err := mc.Explore(sys, goal, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "tick.ckpt")
+	sys, goal = fischerModel(t, 4, true)
+	opts.Checkpoint = mc.CheckpointOptions{Path: path, Interval: time.Millisecond}
+	res, err := mc.Explore(sys, goal, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found != ref.Found || res.Stats.StatesExplored != ref.Stats.StatesExplored {
+		t.Fatalf("checkpointed run diverged: found=%v/%v explored=%d/%d",
+			res.Found, ref.Found, res.Stats.StatesExplored, ref.Stats.StatesExplored)
+	}
+	if res.Resumed {
+		t.Fatal("run resumed without Resume set")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("checkpoint not removed after completion: %v", err)
+	}
+}
+
+// interruptedCheckpoint produces a checkpoint file by canceling a DFS run
+// midway, returning the path and the options it ran with.
+func interruptedCheckpoint(t *testing.T, modelSHA string) (string, mc.Options) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "seed.ckpt")
+	sys, goal := fischerModel(t, 4, false)
+	opts := mc.DefaultOptions(mc.DFS)
+	opts.Checkpoint = mc.CheckpointOptions{Path: path, Resume: true, ModelSHA: modelSHA}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	obs, _ := cancelAfter(50, cancel)
+	opts.Observer = obs
+	res, err := mc.ExploreContext(ctx, sys, goal, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Abort != mc.AbortCanceled {
+		t.Fatalf("seeding run aborted %q, want canceled", res.Abort)
+	}
+	opts.Observer = nil
+	return path, opts
+}
+
+// TestCheckpointResumeRejections: resuming under different options, a
+// different model digest, or from a damaged file must fail with
+// mc.ErrResume — never silently start a mismatched search.
+func TestCheckpointResumeRejections(t *testing.T) {
+	t.Run("options-mismatch", func(t *testing.T) {
+		path, _ := interruptedCheckpoint(t, "")
+		sys, goal := fischerModel(t, 4, false)
+		opts := mc.DefaultOptions(mc.BFS) // checkpoint was DFS
+		opts.Checkpoint = mc.CheckpointOptions{Path: path, Resume: true}
+		if _, err := mc.Explore(sys, goal, opts); !errors.Is(err, mc.ErrResume) {
+			t.Fatalf("got %v, want ErrResume", err)
+		}
+	})
+	t.Run("model-mismatch", func(t *testing.T) {
+		_, opts := interruptedCheckpoint(t, "sha-of-model-a")
+		sys, goal := fischerModel(t, 4, false)
+		opts.Checkpoint.ModelSHA = "sha-of-model-b"
+		if _, err := mc.Explore(sys, goal, opts); !errors.Is(err, mc.ErrResume) {
+			t.Fatalf("got %v, want ErrResume", err)
+		}
+	})
+	t.Run("corrupt-file", func(t *testing.T) {
+		path, opts := interruptedCheckpoint(t, "")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		sys, goal := fischerModel(t, 4, false)
+		if _, err := mc.Explore(sys, goal, opts); !errors.Is(err, mc.ErrResume) {
+			t.Fatalf("got %v, want ErrResume", err)
+		}
+	})
+	t.Run("resume-disabled-ignores-file", func(t *testing.T) {
+		path, opts := interruptedCheckpoint(t, "")
+		sys, goal := fischerModel(t, 4, false)
+		opts.Checkpoint.Resume = false
+		res, err := mc.Explore(sys, goal, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Resumed {
+			t.Fatal("run resumed with Resume disabled")
+		}
+		if _, err := os.Stat(path); !os.IsNotExist(err) {
+			t.Fatalf("completed run left the checkpoint behind: %v", err)
+		}
+	})
+	t.Run("bsh-rejected", func(t *testing.T) {
+		sys, goal := fischerModel(t, 3, true)
+		opts := mc.DefaultOptions(mc.BSH)
+		opts.Checkpoint = mc.CheckpointOptions{Path: filepath.Join(t.TempDir(), "x.ckpt")}
+		if _, err := mc.Explore(sys, goal, opts); err == nil {
+			t.Fatal("BSH with a checkpoint validated; the bit table cannot checkpoint")
+		}
+	})
+}

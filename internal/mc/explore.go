@@ -143,13 +143,44 @@ func exploreSeq(en *engine, goal Goal) (Result, error) {
 		return n.memBytes()
 	}
 
-	store.add(ctx.stateKey(init), init)
-	front.push(init)
-	waitingBytes := waitingCost(init)
-	if init.czone != nil {
-		// The compact store holds the exact zone; waiting nodes travel
-		// without their O(n²) matrix.
-		ctx.releaseNode(init)
+	ck, err := newCheckpointer(&en.opts)
+	if err != nil {
+		return res, err
+	}
+	var waitingBytes int64
+	var peakMem int64
+	resumed := false
+	if ck != nil {
+		rs, err := ck.resume(store)
+		if err != nil {
+			return res, err
+		}
+		if rs != nil {
+			// Continue where the checkpoint left off: the store is seeded in
+			// its exact saved order, the frontier restored in pop order, and
+			// the counters are cumulative across the interrupted runs — the
+			// rest of the loop proceeds bit-identically to a run that was
+			// never stopped. Checkpointable stores all retain their nodes, so
+			// waiting entries cost only the slot overhead.
+			res.Resumed = true
+			resumed = true
+			restoreFrontier(front, rs.frontier, rs.prios)
+			waitingBytes = int64(front.len()) * waitingSlot
+			applyStats(st, rs.stats, len(en.sys.Automata))
+			peakMem = rs.stats.PeakMemBytes
+		}
+		ck.startTicker()
+		defer ck.stopTicker()
+	}
+	if !resumed {
+		store.add(ctx.stateKey(init), init)
+		front.push(init)
+		waitingBytes = waitingCost(init)
+		if init.czone != nil {
+			// The compact store holds the exact zone; waiting nodes travel
+			// without their O(n²) matrix.
+			ctx.releaseNode(init)
+		}
 	}
 
 	// The plant's priority heuristic (Observer/Prioritizer) orders
@@ -160,15 +191,30 @@ func exploreSeq(en *engine, goal Goal) (Result, error) {
 
 	var found *node
 	var succBuf []*node
-	var peakMem int64
 	for front.len() > 0 && found == nil {
 		ss := store.stats()
 		mem := ss.bytes + waitingBytes
 		if mem > peakMem {
 			peakMem = mem
 		}
+		if ck != nil && ck.req.Load() {
+			// Periodic snapshot at the loop's safe point: every frontier node
+			// is store-added, compact-parked nodes carry their minimal form,
+			// and ancestors need only their trace links.
+			ck.req.Store(false)
+			if err := ck.saveSeq(store, front, st, peakMem, time.Since(start)); err != nil {
+				return res, err
+			}
+		}
 		if reason := en.checkLimits(st, mem); reason != AbortNone {
 			res.Abort = reason
+			if ck != nil {
+				// Abort-time durability: timeouts, cancellations (a serve
+				// drain), and state/memory cutoffs leave a resumable file.
+				if err := ck.saveSeq(store, front, st, peakMem, time.Since(start)); err != nil {
+					return res, err
+				}
+			}
 			break
 		}
 		n := front.pop()
@@ -286,6 +332,14 @@ func exploreSeq(en *engine, goal Goal) (Result, error) {
 	if found != nil {
 		res.Found = true
 		res.Trace = traceOf(found)
+	}
+	if ck != nil {
+		ck.stamp(st)
+		if res.Abort == AbortNone {
+			// The search has its answer; a stale checkpoint must not seed a
+			// later run.
+			ck.finish()
+		}
 	}
 	return res, nil
 }

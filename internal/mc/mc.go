@@ -136,6 +136,14 @@ type Options struct {
 	// ordering stays observable.
 	TimeClock   int
 	TimeHorizon int32
+	// Checkpoint configures durable checkpoint/resume of the search (see
+	// CheckpointOptions): periodic snapshots of the passed store and
+	// frontier to a file, a final snapshot on any abort, and — with Resume
+	// set — seeding the search from an existing snapshot so it continues
+	// to the same verdict and bit-identical trace. The zero value disables
+	// checkpointing. Like Observer/Profile/SnapshotEvery it is a
+	// process-local concern and excluded from the canonical options JSON.
+	Checkpoint CheckpointOptions
 }
 
 // DefaultOptions returns the options matching UPPAAL's defaults in the
@@ -208,6 +216,14 @@ type Stats struct {
 	// WorkerExplored counts states expanded per worker (parallel search
 	// with Profile only).
 	WorkerExplored []int
+	// CheckpointWrites counts checkpoint snapshots written during the run
+	// (periodic and abort-time); CheckpointTime is the cumulative wall
+	// time the search was paused writing them, and ResumeTime the time
+	// spent loading and seeding from a checkpoint at startup
+	// (Options.Checkpoint only; zero otherwise).
+	CheckpointWrites int
+	CheckpointTime   time.Duration
+	ResumeTime       time.Duration
 }
 
 // BytesPerStoredState is StoreBytes averaged over the stored states — the
@@ -234,6 +250,11 @@ type Result struct {
 	Trace []Transition
 	Stats Stats
 	Abort AbortReason
+	// Resumed reports that the search was seeded from a checkpoint
+	// (Options.Checkpoint.Resume with an existing, valid snapshot) rather
+	// than started from the initial state. Stats are cumulative across the
+	// resumed segments.
+	Resumed bool
 }
 
 // Transition identifies one fired transition of the network: either an

@@ -40,6 +40,15 @@ func (o Options) normalize() (Options, error) {
 	if o.Search == BestTime && o.TimeClock <= 0 {
 		return o, fmt.Errorf("mc: BestTime search requires Options.TimeClock")
 	}
+	if o.Checkpoint.Interval < 0 {
+		return o, fmt.Errorf("mc: Options.Checkpoint.Interval must be >= 0, got %v", o.Checkpoint.Interval)
+	}
+	if o.Checkpoint.Path == "" && (o.Checkpoint.Interval > 0 || o.Checkpoint.Resume) {
+		return o, fmt.Errorf("mc: Options.Checkpoint.Interval/Resume require Checkpoint.Path")
+	}
+	if o.Checkpoint.Path != "" && o.Search == BSH {
+		return o, fmt.Errorf("mc: checkpointing is not supported for the BSH order (the bit table stores only hashes)")
+	}
 	// Canonical worker count: 0 and 1 both mean sequential, and the BSH
 	// and BestTime orders are inherently sequential regardless of Workers
 	// (the bit table and the global best-first order serialize them).

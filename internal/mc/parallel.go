@@ -53,23 +53,50 @@ func exploreParallel(en *engine, goal Goal) (Result, error) {
 		smp := startSampler(en.obs, en.opts.SnapshotEvery, start, ps.readSnapshot)
 		defer smp.stop()
 	}
-	ps.store.add(discreteKey(nil, init.locs, init.env), init)
-	if init.czone != nil {
-		// Compact store: ship the node without its matrix. Release strictly
-		// before the deque push — once published, any worker may pop the
-		// node and rebuild its zone.
-		initCtx.releaseNode(init)
+	ck, err := newCheckpointer(&en.opts)
+	if err != nil {
+		return res, err
 	}
-	ps.pending.Store(1)
-	ps.waiting.Store(1)
-	ps.peakWaiting.Store(1)
-	ps.deques[0].pushBatch([]*node{init})
+	resumed := false
+	if ck != nil {
+		rs, err := ck.resume(ps.store)
+		if err != nil {
+			return res, err
+		}
+		if rs != nil {
+			res.Resumed = true
+			resumed = true
+			ps.seedResumed(rs)
+		}
+		ps.ck = &parCheckpointer{ck: ck, ps: ps, active: nw}
+		ps.ck.cond = sync.NewCond(&ps.ck.mu)
+		ck.startTicker()
+		defer ck.stopTicker()
+	}
+	if !resumed {
+		ps.store.add(discreteKey(nil, init.locs, init.env), init)
+		if init.czone != nil {
+			// Compact store: ship the node without its matrix. Release strictly
+			// before the deque push — once published, any worker may pop the
+			// node and rebuild its zone.
+			initCtx.releaseNode(init)
+		}
+		ps.pending.Store(1)
+		ps.waiting.Store(1)
+		ps.peakWaiting.Store(1)
+		ps.deques[0].pushBatch([]*node{init})
+	}
 
 	var wg sync.WaitGroup
 	for i := 0; i < nw; i++ {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
+			if ps.ck != nil {
+				// Leave the quiesce barrier's population on any exit so a
+				// checkpoint round never waits for a worker that is gone.
+				defer ps.ck.workerExit()
+			}
 			// A goroutine panic cannot be recovered by the caller, so
 			// each worker converts model-level *expr.RuntimeError panics
 			// itself (mirroring ExploreContext's deferred recover for the
@@ -153,6 +180,22 @@ func exploreParallel(en *engine, goal Goal) (Result, error) {
 	} else {
 		res.Abort = abort
 	}
+	if ck != nil {
+		if err := ps.ck.takeErr(); err != nil {
+			return res, err
+		}
+		if res.Abort != AbortNone {
+			// Abort-time durability: the workers have joined, so the
+			// coordinator snapshots the final frontier for a later resume.
+			if err := ps.saveParallel(ck); err != nil {
+				return res, err
+			}
+		}
+		ck.stamp(st)
+		if res.Abort == AbortNone {
+			ck.finish()
+		}
+	}
 	return res, nil
 }
 
@@ -176,6 +219,10 @@ type parSearch struct {
 	peakWaiting atomic.Int64
 	steals      atomic.Int64
 	stop        atomic.Bool
+
+	// ck is the quiesce barrier for periodic checkpoints (nil unless
+	// Options.Checkpoint is enabled).
+	ck *parCheckpointer
 
 	// ins is the snapshot instrumentation block (nil unless the observer
 	// asked for snapshots).
@@ -270,6 +317,13 @@ func (ps *parSearch) run(id int) {
 	for {
 		if ps.stop.Load() {
 			return
+		}
+		if ps.ck != nil && ps.ck.pending() {
+			// A checkpoint round is open: park at the barrier (the loop top
+			// is the quiesce point — no node is mid-expansion here), then
+			// re-check stop before popping more work.
+			ps.ck.park()
+			continue
 		}
 		var n *node
 		if bfs {

@@ -1,6 +1,7 @@
 package mc
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -33,11 +34,24 @@ type stateStore interface {
 
 // localStore is a single-threaded stateStore that shardedStore can stripe:
 // it exposes its byte and discrete-state counters so the wrapper can
-// maintain lock-free aggregates.
+// maintain lock-free aggregates, plus the checkpoint seam — deterministic
+// iteration for saves and an unconditional seed path for resumes.
 type localStore interface {
 	stateStore
 	byteCount() int64
 	discreteCount() int
+	// forEachNode visits every stored node in a deterministic order:
+	// buckets in sorted key order, entries in bucket insertion order. The
+	// checkpoint writer serializes entries in this order and the seed path
+	// replays them in it, which reproduces every bucket's antichain scan
+	// order exactly — the invariant behind bit-identical resume.
+	forEachNode(fn func(n *node))
+	// seed inserts a restored node with no subsumption checks (the saved
+	// store already was an antichain), replicating add's accounting.
+	seed(key []byte, n *node)
+	// setEvictions restores the eviction counter of a resumed store so
+	// cumulative stats match an uninterrupted run.
+	setEvictions(v int64)
 }
 
 // bucketOverhead is the accounted per-discrete-state overhead of a store
@@ -130,6 +144,42 @@ func (p *mapStore) retainsNodes() bool { return true }
 
 func (p *mapStore) byteCount() int64   { return p.bytes }
 func (p *mapStore) discreteCount() int { return len(p.byKey) }
+
+// forEachNode implements the localStore checkpoint seam (see there).
+func (p *mapStore) forEachNode(fn func(n *node)) {
+	for _, k := range sortedKeys(p.byKey) {
+		for _, n := range p.byKey[k].nodes {
+			fn(n)
+		}
+	}
+}
+
+// seed implements the localStore checkpoint seam: mapStore.add minus the
+// inclusion scans, with identical accounting.
+func (p *mapStore) seed(key []byte, n *node) {
+	b := p.byKey[string(key)]
+	if b == nil {
+		b = &zoneBucket{}
+		p.byKey[string(key)] = b
+		p.bytes += int64(len(key)) + bucketOverhead
+	}
+	b.nodes = append(b.nodes, n)
+	p.count++
+	p.bytes += n.memBytes()
+}
+
+func (p *mapStore) setEvictions(v int64) { p.evictions = v }
+
+// sortedKeys returns the bucket keys of a store map in sorted order, the
+// deterministic iteration order of checkpoint saves.
+func sortedKeys[B any](m map[string]B) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
 
 // compactStore is the memory-lean variant of mapStore: passed zones are
 // kept in minimal-constraint form (dbm.Compact) instead of as full O(n²)
@@ -269,6 +319,31 @@ func (p *compactStore) retainsNodes() bool { return true }
 func (p *compactStore) byteCount() int64   { return p.bytes }
 func (p *compactStore) discreteCount() int { return len(p.byKey) }
 
+// forEachNode implements the localStore checkpoint seam (see there). The
+// yielded nodes carry their minimal-constraint zones in node.czone.
+func (p *compactStore) forEachNode(fn func(n *node)) {
+	for _, k := range sortedKeys(p.byKey) {
+		for _, e := range p.byKey[k].entries {
+			fn(e.n)
+		}
+	}
+}
+
+// seed implements the localStore checkpoint seam: compactStore.add minus
+// the reduction (the restored node already carries its minimal form in
+// node.czone) and the inclusion scans, with identical accounting.
+func (p *compactStore) seed(key []byte, n *node) {
+	b := p.byKey[string(key)]
+	if b == nil {
+		b = &compactBucket{}
+		p.byKey[string(key)] = b
+		p.bytes += int64(len(key)) + bucketOverhead
+	}
+	p.insert(b, n.czone, n)
+}
+
+func (p *compactStore) setEvictions(v int64) { p.evictions = v }
+
 // bitStore adapts the 2-bit Holzmann supertrace table to the stateStore
 // seam: only hashes are stored, so there is no inclusion checking and
 // popped nodes are not retained.
@@ -363,6 +438,29 @@ func (s *shardedStore) retainsNodes() bool { return true }
 // memBytes returns the accounted byte total without locking any shard, for
 // the workers' periodic memory-limit checks.
 func (s *shardedStore) memBytes() int64 { return s.totalBytes.Load() }
+
+// forEachNode visits every stored node, shards in index order and each
+// shard in its localStore's deterministic order. Callers must be quiesced
+// (no concurrent adds); the checkpoint writer runs it only with every
+// worker parked at the quiesce barrier or joined.
+func (s *shardedStore) forEachNode(fn func(n *node)) {
+	for i := range s.shards {
+		s.shards[i].m.forEachNode(fn)
+	}
+}
+
+// seed routes a restored node to its shard's seed path, mirroring the byte
+// delta into the lock-free total like add.
+func (s *shardedStore) seed(key []byte, n *node) {
+	sh := &s.shards[shardOf(key)]
+	before := sh.m.byteCount()
+	sh.m.seed(key, n)
+	s.totalBytes.Add(sh.m.byteCount() - before)
+}
+
+// setEvictions restores the aggregate eviction counter (parked on shard 0;
+// stats() sums across shards, so the split is unobservable).
+func (s *shardedStore) setEvictions(v int64) { s.shards[0].m.setEvictions(v) }
 
 // occupancy returns the per-shard discrete-state counts, the Profile
 // observability hook for shard balance.

@@ -3,6 +3,7 @@ package plant
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -94,6 +95,50 @@ func (g GuideSet) String() string {
 		return "none"
 	}
 	return strings.Join(parts, "+")
+}
+
+// ParseGuideSet parses the compact rendering of String ("route+steer",
+// "castpace+window=4", "none"), so guide sets can round-trip through CLI
+// flags, JSON results, and warm-start files. The empty string and "none"
+// both parse to the empty set.
+func ParseGuideSet(s string) (GuideSet, error) {
+	var g GuideSet
+	s = strings.TrimSpace(s)
+	if s == "" || strings.EqualFold(s, "none") {
+		return g, nil
+	}
+	for _, part := range strings.Split(s, "+") {
+		part = strings.ToLower(strings.TrimSpace(part))
+		switch part {
+		case "route":
+			g.Route = true
+		case "steer":
+			g.Steer = true
+		case "demand":
+			g.Demand = true
+		case "regions":
+			g.Regions = true
+		case "buffergate":
+			g.BufferGate = true
+		case "balance":
+			g.Balance = true
+		case "castpace":
+			g.CastPace = true
+		case "pourorder":
+			g.PourOrder = true
+		default:
+			if w, ok := strings.CutPrefix(part, "window="); ok {
+				n, err := strconv.Atoi(w)
+				if err != nil || n <= 0 {
+					return GuideSet{}, fmt.Errorf("plant: bad pour window %q in guide set %q", w, s)
+				}
+				g.PourWindow = n
+				continue
+			}
+			return GuideSet{}, fmt.Errorf("plant: unknown guide family %q in guide set %q", part, s)
+		}
+	}
+	return g, nil
 }
 
 // Names returns the enabled family names in a stable order (the numeric

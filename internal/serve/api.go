@@ -90,6 +90,9 @@ func jobJSON(j *Job) JobJSON {
 		jj.Schedule = out.schedule
 		jj.Program = out.program
 		jj.Discover = out.discover
+		if out.resumed {
+			jj.ResumedFrom = j.Key
+		}
 		if out.err != nil {
 			jj.Error = out.err.Error()
 		}

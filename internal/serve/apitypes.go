@@ -104,7 +104,12 @@ type JobJSON struct {
 	Program  *ProgramJSON  `json:"program,omitempty"`
 	// Discover carries the guide-search result of discover jobs.
 	Discover *DiscoverJSON `json:"discover,omitempty"`
-	Error    string        `json:"error,omitempty"`
+	// ResumedFrom names the checkpoint key this execution was resumed
+	// from (the content-addressed cache key, which also names the
+	// checkpoint file) when the server's CheckpointDir durability seeded
+	// the search from an earlier aborted run. Empty for fresh runs.
+	ResumedFrom string `json:"resumed_from,omitempty"`
+	Error       string `json:"error,omitempty"`
 }
 
 // ScheduleJSON is the projected plant schedule of a plant job: the

@@ -249,7 +249,10 @@ type outcome struct {
 	schedule *ScheduleJSON
 	program  *ProgramJSON
 	discover *DiscoverJSON
-	err      error
+	// resumed marks an execution that was seeded from a durable checkpoint
+	// left by an earlier aborted run of the same cache key.
+	resumed bool
+	err     error
 }
 
 func (o *outcome) describe() string {

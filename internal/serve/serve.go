@@ -33,6 +33,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -69,6 +71,20 @@ type Config struct {
 	// MaxJobs bounds retained job records (default 4096; finished jobs are
 	// evicted oldest-first beyond it).
 	MaxJobs int
+	// CheckpointDir, when set, makes running jobs durable: every model and
+	// plant execution writes a resumable search checkpoint (keyed by its
+	// content-addressed cache key) into this directory whenever it is
+	// aborted — a JobTimeout expiry or a drain cancellation — and
+	// resubmitting the same query, including to a freshly restarted
+	// server, resumes the search from that file instead of starting over.
+	// Checkpoints are removed once the search completes with an answer.
+	// Empty disables durability. Discover jobs and BSH searches (whose bit
+	// table stores only hashes) run without checkpoints.
+	CheckpointDir string
+	// CheckpointEvery additionally writes periodic checkpoints at this
+	// cadence while a job runs (0 = abort-time checkpoints only), bounding
+	// the work lost to a hard kill rather than a clean drain.
+	CheckpointEvery time.Duration
 	// Logf, when set, receives one line per lifecycle event (admission,
 	// completion, drain). Nil means silent.
 	Logf func(format string, args ...any)
@@ -386,9 +402,38 @@ func (s *Server) execute(ex *execution) *outcome {
 		opts.Observer,
 	)
 
+	// Durability: checkpoint under the content-addressed cache key, so the
+	// file a drained or timed-out run leaves behind is found by exactly the
+	// resubmissions that would have hit its cache entry — including on a
+	// freshly restarted server whose in-memory cache is empty.
+	var ckptPath string
+	if s.cfg.CheckpointDir != "" && opts.Search != mc.BSH {
+		ckptPath = filepath.Join(s.cfg.CheckpointDir, ex.key+".ckpt")
+		opts.Checkpoint = mc.CheckpointOptions{
+			Path:     ckptPath,
+			Interval: s.cfg.CheckpointEvery,
+			Resume:   true,
+			ModelSHA: ex.modelSHA,
+		}
+	}
+	// retryFresh handles a poisoned checkpoint (corrupt file, stale format,
+	// options drift): delete it and let the caller rerun from scratch —
+	// durability must never make a query unanswerable.
+	retryFresh := func(err error) bool {
+		if ckptPath == "" || !errors.Is(err, mc.ErrResume) {
+			return false
+		}
+		s.logf("exec %s: checkpoint unusable (%v); restarting fresh", shortKey(ex.key), err)
+		os.Remove(ckptPath)
+		return true
+	}
+
 	out := &outcome{report: run}
 	if ex.isPlant {
 		res, err := core.SynthesizeContext(ex.ctx, ex.plantCfg, opts, synth.Options{})
+		if err != nil && retryFresh(err) {
+			res, err = core.SynthesizeContext(ex.ctx, ex.plantCfg, opts, synth.Options{})
+		}
 		if err != nil {
 			// An unreachable goal or an aborted search surfaces as an
 			// error from the pipeline; the report still carries the search
@@ -399,18 +444,23 @@ func (s *Server) execute(ex *execution) *outcome {
 			return out
 		}
 		out.found = true
+		out.resumed = res.Search.Resumed
 		out.schedule = scheduleJSON(res.Schedule)
 		out.program = programJSON(res.Program, res.Codec)
 		return out
 	}
 
 	res, err := mc.ExploreContext(ex.ctx, ex.sys, ex.goal, opts)
+	if err != nil && retryFresh(err) {
+		res, err = mc.ExploreContext(ex.ctx, ex.sys, ex.goal, opts)
+	}
 	if err != nil {
 		out.err = err
 		return out
 	}
 	out.found = res.Found
 	out.abort = res.Abort
+	out.resumed = res.Resumed
 	return out
 }
 
