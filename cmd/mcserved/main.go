@@ -36,6 +36,8 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"guidedta/internal/cliutil"
@@ -55,6 +57,11 @@ func main() {
 		quiet        = flag.Bool("quiet", false, "suppress per-job log lines")
 		ckptDir      = flag.String("checkpoint-dir", "", "make running jobs durable: write resumable search checkpoints (keyed by cache key) here on drain/timeout aborts, and resume them on resubmission — also after a restart")
 		ckptEvery    = flag.Duration("checkpoint-every", 0, "additionally checkpoint running jobs at this cadence (0 = abort-time only; requires -checkpoint-dir)")
+		warmStart    = flag.Bool("warm-start", false, "keep completed searches' final checkpoints and seed re-synthesis of nearby models from them (requires -checkpoint-dir)")
+		tenantQuota  = flag.Int("tenant-quota", 0, "per-tenant queued-job quota (0 = the -queue depth); tenancy from the X-Tenant header")
+		tenantWeight = flag.String("tenant-weights", "", "weighted-fair shares as tenant=weight,... (absent tenants weigh 1)")
+		ckptGCAge    = flag.Duration("checkpoint-gc-age", 24*time.Hour, "delete checkpoint files older than this at startup and drain")
+		ckptGCMax    = flag.Int("checkpoint-gc-max", 1024, "keep at most this many checkpoint files")
 	)
 	flag.Parse()
 
@@ -69,14 +76,28 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *warmStart && *ckptDir == "" {
+		logger.Printf("-warm-start requires -checkpoint-dir")
+		os.Exit(1)
+	}
+	weights, err := parseTenantWeights(*tenantWeight)
+	if err != nil {
+		logger.Printf("bad -tenant-weights: %v", err)
+		os.Exit(1)
+	}
 	srv := serve.New(serve.Config{
 		Workers:         *workers,
 		QueueDepth:      *queueDepth,
+		TenantQuota:     *tenantQuota,
+		TenantWeights:   weights,
 		JobTimeout:      *jobTimeout,
 		SnapshotEvery:   *snapshot,
 		CacheSize:       *cacheSize,
 		CheckpointDir:   *ckptDir,
 		CheckpointEvery: *ckptEvery,
+		WarmStart:       *warmStart,
+		CheckpointGCAge: *ckptGCAge,
+		CheckpointGCMax: *ckptGCMax,
 		Logf:            logf,
 	})
 	expvar.Publish("mcserve", srv.StatusVar())
@@ -120,4 +141,25 @@ func main() {
 	st := srv.Status()
 	fmt.Fprintf(os.Stderr, "mcserved: drained cleanly (%d executions, cache hit rate %.2f)\n",
 		st.ExecutionsFinished, st.Cache.HitRate)
+}
+
+// parseTenantWeights parses "tenant=weight,tenant=weight" into the
+// serve.Config map; an empty spec means every tenant weighs 1.
+func parseTenantWeights(spec string) (map[string]int, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	out := make(map[string]int)
+	for _, part := range strings.Split(spec, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("%q is not tenant=weight", part)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("weight %q must be a positive integer", val)
+		}
+		out[name] = w
+	}
+	return out, nil
 }

@@ -91,6 +91,33 @@ func DefaultParams() Params {
 	}
 }
 
+// Validate rejects parameter sets no physical plant can have: every
+// duration must be positive (a zero-time crane move or treatment would
+// let the model teleport batches) except TurnTime, where zero just means
+// the caster tolerates no ladle-swap slack. Callers overlaying measured
+// disturbances onto DefaultParams (the serve API, the fleet driver)
+// validate before building, so a bad measurement fails the request
+// instead of synthesizing a schedule for an impossible plant.
+func (p Params) Validate() error {
+	positive := []struct {
+		name string
+		v    int32
+	}{
+		{"BMove", p.BMove}, {"CMove", p.CMove}, {"CUp", p.CUp}, {"CDown", p.CDown},
+		{"TreatA", p.TreatA}, {"TreatB", p.TreatB}, {"TreatM3", p.TreatM3},
+		{"CastTime", p.CastTime}, {"Deadline", p.Deadline},
+	}
+	for _, f := range positive {
+		if f.v <= 0 {
+			return fmt.Errorf("plant: Params.%s must be > 0, got %d", f.name, f.v)
+		}
+	}
+	if p.TurnTime < 0 {
+		return fmt.Errorf("plant: Params.TurnTime must be >= 0, got %d", p.TurnTime)
+	}
+	return nil
+}
+
 // Stages expands a quality into its recipe under params.
 func (p Params) Stages(q Quality) []Stage {
 	a := Stage{Machines: []int{M1, M4}, Time: p.TreatA}

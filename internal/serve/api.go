@@ -33,7 +33,7 @@ func (p *PlantRequest) resolve() (plant.Config, error) {
 			}
 			cfg.Qualities = append(cfg.Qualities, plant.Quality(q))
 		}
-		return cfg, nil
+		return cfg, p.resolveParams(&cfg)
 	}
 	if p.Batches < 1 {
 		return cfg, fmt.Errorf("need batches >= 1 or an explicit qualities list")
@@ -42,7 +42,37 @@ func (p *PlantRequest) resolve() (plant.Config, error) {
 		return cfg, fmt.Errorf("batches %d too large (max 60)", p.Batches)
 	}
 	cfg.Qualities = plant.CycleQualities(p.Batches)
-	return cfg, nil
+	return cfg, p.resolveParams(&cfg)
+}
+
+// resolveParams overlays the sparse wire params onto the paper defaults
+// and validates the result; called after the quality list resolves so a
+// params error never masks a quality error.
+func (p *PlantRequest) resolveParams(cfg *plant.Config) error {
+	if p.Params == nil {
+		return nil
+	}
+	pp := plant.DefaultParams()
+	overlay := func(dst *int32, src *int32) {
+		if src != nil {
+			*dst = *src
+		}
+	}
+	overlay(&pp.BMove, p.Params.BMove)
+	overlay(&pp.CMove, p.Params.CMove)
+	overlay(&pp.CUp, p.Params.CUp)
+	overlay(&pp.CDown, p.Params.CDown)
+	overlay(&pp.TreatA, p.Params.TreatA)
+	overlay(&pp.TreatB, p.Params.TreatB)
+	overlay(&pp.TreatM3, p.Params.TreatM3)
+	overlay(&pp.CastTime, p.Params.CastTime)
+	overlay(&pp.TurnTime, p.Params.TurnTime)
+	overlay(&pp.Deadline, p.Params.Deadline)
+	if err := pp.Validate(); err != nil {
+		return err
+	}
+	cfg.Params = pp
+	return nil
 }
 
 // resolve overlays the client's options onto the server defaults through
@@ -93,6 +123,7 @@ func jobJSON(j *Job) JobJSON {
 		if out.resumed {
 			jj.ResumedFrom = j.Key
 		}
+		jj.WarmStartedFrom = out.warmFrom
 		if out.err != nil {
 			jj.Error = out.err.Error()
 		}
@@ -193,7 +224,10 @@ func (s *Server) Status() StatusJSON {
 		Jobs:               s.jobs.counts(),
 		ExecutionsStarted:  s.started.Load(),
 		ExecutionsFinished: s.finished.Load(),
+		ExecutionsSkipped:  s.skipped.Load(),
+		WarmStarts:         s.warmHits.Load(),
 		Cache:              s.cache.status(),
+		Tenants:            s.queue.tenantStatus(),
 	}
 	if s.draining.Load() {
 		st.State = "draining"

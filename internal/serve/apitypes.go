@@ -22,6 +22,16 @@ type SubmitRequest struct {
 	Plant *PlantRequest `json:"plant,omitempty"`
 	// Options configures the search; absent fields keep server defaults.
 	Options OptionsRequest `json:"options"`
+	// Resynthesis marks a re-synthesis of an already-deployed schedule
+	// (a plant whose parameters drifted while its schedule was running).
+	// The fair queue serves a tenant's re-synthesis jobs ahead of its
+	// normal work; the verdict and its cache key are unaffected.
+	Resynthesis bool `json:"resynthesis,omitempty"`
+
+	// tenant is the admission tenant, taken from the X-Tenant request
+	// header by the handler — not part of the JSON body, so a client
+	// cannot impersonate a tenant the transport layer didn't vouch for.
+	tenant string
 }
 
 // PlantRequest names a plant scheduling instance, mirroring the
@@ -34,6 +44,27 @@ type PlantRequest struct {
 	Qualities []int `json:"qualities,omitempty"`
 	// Guides is the guide level: "none", "some", or "all" (default).
 	Guides string `json:"guides,omitempty"`
+	// Params overlays individual plant timing parameters onto the paper's
+	// defaults — the wire form of a fleet plant's measured disturbances
+	// (wear slowing movements, a shifted deadline, a slower recipe).
+	// Absent fields keep plant.DefaultParams.
+	Params *ParamsRequest `json:"params,omitempty"`
+}
+
+// ParamsRequest is a sparse overlay over plant.DefaultParams: every field
+// is optional, and only present fields replace the default. All times are
+// in the model's abstract time units (see plant.Params).
+type ParamsRequest struct {
+	BMove    *int32 `json:"b_move,omitempty"`
+	CMove    *int32 `json:"c_move,omitempty"`
+	CUp      *int32 `json:"c_up,omitempty"`
+	CDown    *int32 `json:"c_down,omitempty"`
+	TreatA   *int32 `json:"treat_a,omitempty"`
+	TreatB   *int32 `json:"treat_b,omitempty"`
+	TreatM3  *int32 `json:"treat_m3,omitempty"`
+	CastTime *int32 `json:"cast_time,omitempty"`
+	TurnTime *int32 `json:"turn_time,omitempty"`
+	Deadline *int32 `json:"deadline,omitempty"`
 }
 
 // OptionsRequest carries the client's search options verbatim until
@@ -75,6 +106,9 @@ type DiscoverRequest struct {
 	// Options is the oracle base configuration each probe runs with;
 	// absent fields keep server defaults (DFS, compact store).
 	Options OptionsRequest `json:"options"`
+
+	// tenant mirrors SubmitRequest.tenant (set from X-Tenant).
+	tenant string
 }
 
 // DiscoverBudget is the wire form of guide.Budget.
@@ -109,7 +143,13 @@ type JobJSON struct {
 	// checkpoint file) when the server's CheckpointDir durability seeded
 	// the search from an earlier aborted run. Empty for fresh runs.
 	ResumedFrom string `json:"resumed_from,omitempty"`
-	Error       string `json:"error,omitempty"`
+	// WarmStartedFrom names the checkpoint key whose final snapshot
+	// warm-started this execution's search (Config.WarmStart): the prior
+	// run's own key for a re-run, or a near-miss key — same plant kind
+	// and options, different model — for a re-synthesis after a
+	// disturbance. Empty for cold runs.
+	WarmStartedFrom string `json:"warm_started_from,omitempty"`
+	Error           string `json:"error,omitempty"`
 }
 
 // ScheduleJSON is the projected plant schedule of a plant job: the
@@ -208,12 +248,31 @@ type SnapshotJSON struct {
 type StatusJSON struct {
 	State              string           `json:"state"` // serving | draining
 	QueueDepth         int              `json:"queue_depth"`
-	QueueCap           int              `json:"queue_cap"`
+	QueueCap           int              `json:"queue_cap"` // per-tenant quota
 	Workers            []WorkerStatus   `json:"workers"`
 	Jobs               map[JobState]int `json:"jobs"`
 	ExecutionsStarted  int64            `json:"executions_started"`
 	ExecutionsFinished int64            `json:"executions_finished"`
-	Cache              CacheStatus      `json:"cache"`
+	// ExecutionsSkipped counts executions settled without running because
+	// every attached job canceled while they were still queued.
+	ExecutionsSkipped int64 `json:"executions_skipped,omitempty"`
+	// WarmStarts counts executions whose search was seeded from a kept
+	// checkpoint (Config.WarmStart).
+	WarmStarts int64       `json:"warm_starts,omitempty"`
+	Cache      CacheStatus `json:"cache"`
+	// Tenants is the fair queue's per-tenant backlog, in tenant creation
+	// order (present once any request has been admitted).
+	Tenants []TenantStatus `json:"tenants,omitempty"`
+}
+
+// TenantStatus is one tenant's fair-queue state.
+type TenantStatus struct {
+	Tenant string `json:"tenant"` // "" is the default tenant
+	Weight int    `json:"weight"`
+	Queued int    `json:"queued"`
+	// Resynth is how many of Queued sit in the priority band.
+	Resynth int `json:"resynth,omitempty"`
+	Quota   int `json:"quota"`
 }
 
 // WorkerStatus is one pool worker's live state.

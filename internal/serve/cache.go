@@ -162,6 +162,18 @@ func (c *cache) inflightCount() int {
 	return len(c.inflight)
 }
 
+// inflightKeys snapshots the in-flight cache keys (checkpoint GC must
+// not delete a file a queued or running execution may still touch).
+func (c *cache) inflightKeys() map[string]bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]bool, len(c.inflight))
+	for key := range c.inflight {
+		out[key] = true
+	}
+	return out
+}
+
 func (c *cache) status() CacheStatus {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -22,10 +22,20 @@ func badRequestf(format string, args ...any) error {
 	return &admissionError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
 }
 
-var (
-	errQueueFull = &admissionError{status: http.StatusTooManyRequests, msg: "job queue full, retry later"}
-	errDraining  = &admissionError{status: http.StatusServiceUnavailable, msg: "server is draining"}
-)
+var errDraining = &admissionError{status: http.StatusServiceUnavailable, msg: "server is draining"}
+
+// errQueueFullFor is the per-tenant 429: only the flooding tenant's
+// requests see it, and the message says whose quota is exhausted.
+func errQueueFullFor(tenant string) error {
+	label := tenant
+	if label == "" {
+		label = "default"
+	}
+	return &admissionError{
+		status: http.StatusTooManyRequests,
+		msg:    fmt.Sprintf("job queue full for tenant %q, retry later", label),
+	}
+}
 
 // maxRequestBytes bounds a POST body; model text has no business being
 // larger.
@@ -89,6 +99,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, badRequestf("bad request body: %v", err))
 		return
 	}
+	req.tenant = r.Header.Get("X-Tenant")
 	job, err := s.submit(&req)
 	if err != nil {
 		httpError(w, err)
@@ -104,6 +115,7 @@ func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
 		httpError(w, badRequestf("bad request body: %v", err))
 		return
 	}
+	req.tenant = r.Header.Get("X-Tenant")
 	job, err := s.submitDiscover(&req)
 	if err != nil {
 		httpError(w, err)

@@ -134,6 +134,15 @@ type execution struct {
 	isPlant  bool
 	plantCfg plant.Config
 
+	// tenant is the admission tenant (fair-queue scheduling and quota
+	// accounting); resynth marks a re-synthesis of an already-deployed
+	// schedule, which the fair queue serves ahead of that tenant's normal
+	// work. Neither is part of the cache key: the answer is a property of
+	// the model and options, not of who asked.
+	tenant  string
+	resynth bool
+
+
 	// isDiscover marks a guide-search job; budget and seed parameterize
 	// the search (cfg comes from plantCfg).
 	isDiscover bool
@@ -149,8 +158,14 @@ type execution struct {
 
 	done chan struct{} // closed when the outcome has been published
 
-	mu       sync.Mutex
+	mu sync.Mutex
+	// Interest accounting: attached counts successful attach calls, released
+	// counts withdrawals. They are tracked as a pair — not derived from
+	// len(jobs) — so a cancel can never race an in-progress coalesce into
+	// cancelling the shared search out from under a later rider (see
+	// release).
 	jobs     []*Job
+	attached int
 	released int
 	last     *streamEvent
 	subs     map[chan streamEvent]struct{}
@@ -166,26 +181,36 @@ type streamEvent struct {
 }
 
 // attach registers a job's interest; it fails once the execution has
-// settled (the caller then replays the cached outcome instead).
+// settled (the caller then replays the cached outcome instead) or been
+// canceled (the caller then replaces it with a fresh execution rather
+// than inheriting a cancellation it did not request).
 func (ex *execution) attach(j *Job) bool {
 	ex.mu.Lock()
 	defer ex.mu.Unlock()
-	if ex.settled {
+	if ex.settled || ex.ctx.Err() != nil {
 		return false
 	}
 	ex.jobs = append(ex.jobs, j)
+	ex.attached++
 	return true
 }
 
-// release drops one job's interest; the last release cancels the search.
+// release drops one job's interest; the execution is canceled only when
+// interest truly drops to zero after at least one attach. Both the
+// decision and the cancel happen under ex.mu, and attach re-checks
+// ctx.Err() under the same lock, so the historical race — a cancel
+// observing `released >= len(ex.jobs)` while a coalescing attach was
+// between admission and append (or before any job attached at all) and
+// killing the shared search under its future riders — cannot recur:
+// either the attach lands first (interest > 0, no cancel) or the cancel
+// lands first (the attach fails and admission builds a fresh execution).
 func (ex *execution) release() {
 	ex.mu.Lock()
 	ex.released++
-	cancelNow := !ex.settled && ex.released >= len(ex.jobs)
-	ex.mu.Unlock()
-	if cancelNow {
+	if !ex.settled && ex.attached > 0 && ex.released >= ex.attached {
 		ex.cancel()
 	}
+	ex.mu.Unlock()
 }
 
 // publish fans an engine progress snapshot out to every subscribed event
@@ -252,7 +277,11 @@ type outcome struct {
 	// resumed marks an execution that was seeded from a durable checkpoint
 	// left by an earlier aborted run of the same cache key.
 	resumed bool
-	err     error
+	// warmFrom names the checkpoint key whose final snapshot warm-started
+	// the search ("" for cold runs); set only when the engine confirmed
+	// the seeding took effect (mc.Result.WarmStarted).
+	warmFrom string
+	err      error
 }
 
 func (o *outcome) describe() string {

@@ -2,64 +2,180 @@ package serve
 
 import "sync"
 
-// queue is the bounded admission queue feeding the worker pool. Admission
-// is non-blocking: a full queue rejects instead of stalling the HTTP
-// handler, which is what turns overload into 429s rather than piled-up
-// goroutines. wg spans an execution's whole queued+running life, so Drain
-// can wait for the world to settle with one Wait.
+// queue is the bounded admission queue feeding the worker pool: a
+// per-tenant weighted-fair queue. Admission is non-blocking and
+// per-tenant: a tenant that has filled its own quota is rejected (429)
+// without touching anyone else's headroom, which is what keeps one
+// flooding client from starving the fleet. Within a tenant, re-synthesis
+// of already-deployed schedules (execution.resynth) forms a priority band
+// served before normal work; across tenants, workers are handed
+// executions by credit-based weighted round-robin, so a tenant with
+// weight w receives w slots per scheduling round regardless of how deep
+// the other tenants' backlogs are. wg spans an execution's whole
+// queued+running life, so Drain can wait for the world to settle with one
+// Wait.
 type queue struct {
 	mu     sync.Mutex
-	ch     chan *execution
-	quit   chan struct{}
+	cond   *sync.Cond
 	closed bool
 	wg     sync.WaitGroup
+
+	// quota bounds each tenant's queued (not yet running) executions;
+	// weights gives per-tenant round-robin credit (absent tenants get 1).
+	quota   int
+	weights map[string]int
+
+	tenants map[string]*tenantQueue
+	order   []string // tenant creation order, the round-robin ring
+	rr      int      // next ring position to offer a slot to
+	total   int      // queued executions across all tenants
 }
 
-func newQueue(depth int) *queue {
-	return &queue{ch: make(chan *execution, depth), quit: make(chan struct{})}
+// tenantQueue is one tenant's two-band backlog. Both bands are FIFO; the
+// resynth band is always served first within the tenant.
+type tenantQueue struct {
+	weight  int
+	credit  int
+	resynth []*execution
+	normal  []*execution
 }
 
-// tryPush admits an execution; false means the queue is full (or shutting
-// down) and the caller must reject the request.
+func (t *tenantQueue) empty() bool { return len(t.resynth)+len(t.normal) == 0 }
+
+func (t *tenantQueue) popBand() *execution {
+	if len(t.resynth) > 0 {
+		ex := t.resynth[0]
+		t.resynth = t.resynth[1:]
+		return ex
+	}
+	ex := t.normal[0]
+	t.normal = t.normal[1:]
+	return ex
+}
+
+func newQueue(quota int, weights map[string]int) *queue {
+	q := &queue{
+		quota:   quota,
+		weights: weights,
+		tenants: make(map[string]*tenantQueue),
+	}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *queue) tenantLocked(name string) *tenantQueue {
+	t, ok := q.tenants[name]
+	if !ok {
+		w := q.weights[name]
+		if w <= 0 {
+			w = 1
+		}
+		t = &tenantQueue{weight: w, credit: w}
+		q.tenants[name] = t
+		q.order = append(q.order, name)
+	}
+	return t
+}
+
+// tryPush admits an execution under its tenant's quota; false means that
+// tenant's queue is full (or the pool is shutting down) and the caller
+// must reject the request — other tenants are unaffected.
 func (q *queue) tryPush(ex *execution) bool {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
 		return false
 	}
-	q.wg.Add(1)
-	select {
-	case q.ch <- ex:
-		return true
-	default:
-		q.wg.Done()
+	t := q.tenantLocked(ex.tenant)
+	if len(t.resynth)+len(t.normal) >= q.quota {
 		return false
 	}
+	q.wg.Add(1)
+	if ex.resynth {
+		t.resynth = append(t.resynth, ex)
+	} else {
+		t.normal = append(t.normal, ex)
+	}
+	q.total++
+	q.cond.Signal()
+	return true
 }
 
-// pop blocks for the next execution; ok is false when the pool is being
-// stopped.
+// pop blocks for the next execution under weighted round-robin; ok is
+// false when the pool is being stopped. close happens only after wg has
+// settled, so no admitted execution is ever silently dropped.
 func (q *queue) pop() (*execution, bool) {
-	select {
-	case ex := <-q.ch:
-		return ex, true
-	case <-q.quit:
-		// Keep draining anything still buffered so no admitted execution
-		// is silently dropped (close happens only after wg settles, so in
-		// practice the buffer is empty here).
-		select {
-		case ex := <-q.ch:
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if ex := q.popLocked(); ex != nil {
 			return ex, true
-		default:
+		}
+		if q.closed {
 			return nil, false
 		}
+		q.cond.Wait()
 	}
 }
 
-// depth is the current number of queued (not yet running) executions.
-func (q *queue) depth() int { return len(q.ch) }
+// popLocked picks the next tenant by credit-based weighted round-robin:
+// scan the ring from the cursor for a non-empty tenant with credit, and
+// when every backlogged tenant has exhausted its credit, start a new
+// scheduling round by replenishing credits to weights. Two passes
+// suffice — after a replenish every non-empty tenant has credit > 0.
+func (q *queue) popLocked() *execution {
+	if q.total == 0 {
+		return nil
+	}
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < len(q.order); i++ {
+			ix := (q.rr + i) % len(q.order)
+			t := q.tenants[q.order[ix]]
+			if t.empty() || t.credit <= 0 {
+				continue
+			}
+			t.credit--
+			q.rr = (ix + 1) % len(q.order)
+			q.total--
+			return t.popBand()
+		}
+		for _, name := range q.order {
+			t := q.tenants[name]
+			t.credit = t.weight
+		}
+	}
+	return nil // unreachable while total > 0; keeps the compiler honest
+}
 
-func (q *queue) cap() int { return cap(q.ch) }
+// depth is the current number of queued (not yet running) executions
+// across all tenants.
+func (q *queue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.total
+}
+
+// cap is the per-tenant admission quota (the bound a single client
+// experiences, matching the historical global-FIFO capacity).
+func (q *queue) cap() int { return q.quota }
+
+// tenantStatus snapshots per-tenant backlog for /status.
+func (q *queue) tenantStatus() []TenantStatus {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]TenantStatus, 0, len(q.order))
+	for _, name := range q.order {
+		t := q.tenants[name]
+		out = append(out, TenantStatus{
+			Tenant:  name,
+			Weight:  t.weight,
+			Queued:  len(t.resynth) + len(t.normal),
+			Resynth: len(t.resynth),
+			Quota:   q.quota,
+		})
+	}
+	return out
+}
 
 // close stops the worker pool; safe to call once after wg has settled.
 func (q *queue) close() {
@@ -67,6 +183,6 @@ func (q *queue) close() {
 	defer q.mu.Unlock()
 	if !q.closed {
 		q.closed = true
-		close(q.quit)
+		q.cond.Broadcast()
 	}
 }

@@ -45,6 +45,7 @@ import (
 	"guidedta/internal/guide"
 	"guidedta/internal/mc"
 	"guidedta/internal/plant"
+	"guidedta/internal/snapshot"
 	"guidedta/internal/synth"
 )
 
@@ -57,8 +58,19 @@ type Config struct {
 	Workers int
 	// QueueDepth bounds the admission queue (default 64). A POST that
 	// finds the queue full is rejected with 429 and a Retry-After header
-	// instead of queueing unboundedly.
+	// instead of queueing unboundedly. With multi-tenant admission the
+	// bound is per tenant: QueueDepth is the default per-tenant quota
+	// (see TenantQuota), so one flooding tenant's 429s never ration
+	// another tenant's headroom.
 	QueueDepth int
+	// TenantQuota overrides the per-tenant queued-execution quota
+	// (default QueueDepth). Tenancy comes from the X-Tenant request
+	// header; requests without one share the default tenant "".
+	TenantQuota int
+	// TenantWeights gives named tenants a weighted-fair share of the
+	// worker pool: a tenant with weight w is offered w queue slots per
+	// round-robin round. Absent tenants (and the default tenant) weigh 1.
+	TenantWeights map[string]int
 	// JobTimeout caps every job's search wall-clock time (0 = no cap). A
 	// tighter per-request timeout in the submitted options still applies.
 	JobTimeout time.Duration
@@ -85,6 +97,23 @@ type Config struct {
 	// cadence while a job runs (0 = abort-time checkpoints only), bounding
 	// the work lost to a hard kill rather than a clean drain.
 	CheckpointEvery time.Duration
+	// WarmStart (requires CheckpointDir) keeps every completed search's
+	// final snapshot on disk and uses those snapshots to seed later
+	// searches of nearby models: a query whose plant kind and options
+	// match a kept snapshot but whose model hash differs (a re-synthesis
+	// after a disturbance) starts from the prior run's re-validated state
+	// space instead of from scratch. Soundness is the engine's problem —
+	// see mc.WarmStartOptions — and the server additionally reruns cold
+	// whenever a cross-model warm start returns a negative or fails replay
+	// validation, so warm starts can change latency but never answers.
+	WarmStart bool
+	// CheckpointGCAge and CheckpointGCMax bound the checkpoint directory:
+	// on startup and after a drain, checkpoint files older than GCAge
+	// (default 24h) or beyond the GCMax newest (default 1024) are deleted,
+	// except files referenced by in-flight executions. Without GC, evicted
+	// cache keys would leak their checkpoint files forever.
+	CheckpointGCAge time.Duration
+	CheckpointGCMax int
 	// Logf, when set, receives one line per lifecycle event (admission,
 	// completion, drain). Nil means silent.
 	Logf func(format string, args ...any)
@@ -106,6 +135,15 @@ func (c Config) withDefaults() Config {
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 4096
 	}
+	if c.TenantQuota <= 0 {
+		c.TenantQuota = c.QueueDepth
+	}
+	if c.CheckpointGCAge <= 0 {
+		c.CheckpointGCAge = 24 * time.Hour
+	}
+	if c.CheckpointGCMax <= 0 {
+		c.CheckpointGCMax = 1024
+	}
 	return c
 }
 
@@ -116,12 +154,15 @@ type Server struct {
 	queue *queue
 	cache *cache
 	jobs  *registry
+	warm  *warmIndex // nil unless Config.WarmStart
 
 	workers []workerState
 
 	draining atomic.Bool
 	started  atomic.Int64 // executions handed to ExploreContext/Synthesize
 	finished atomic.Int64 // executions completed (any outcome)
+	skipped  atomic.Int64 // canceled-while-queued executions settled unrun
+	warmHits atomic.Int64 // executions that actually warm-started
 
 	drainOnce sync.Once
 }
@@ -148,7 +189,15 @@ func New(cfg Config) *Server {
 		jobs:    newRegistry(cfg.MaxJobs),
 		workers: make([]workerState, cfg.Workers),
 	}
-	s.queue = newQueue(cfg.QueueDepth)
+	s.queue = newQueue(cfg.TenantQuota, cfg.TenantWeights)
+	if cfg.CheckpointDir != "" {
+		s.gcCheckpoints()
+		if cfg.WarmStart {
+			s.warm = newWarmIndex()
+			n := s.warm.scan(cfg.CheckpointDir)
+			s.logf("warm start: indexed %d checkpoint(s)", n)
+		}
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker(i)
 	}
@@ -170,11 +219,45 @@ func (s *Server) worker(i int) {
 		if !ok {
 			return
 		}
+		if ex.ctx.Err() != nil && !ex.running.Load() {
+			// Canceled while still queued: every attached job withdrew
+			// before a worker got here. Running the search just to have it
+			// abort on its first limit check would burn this worker slot for
+			// nobody — settle the execution as canceled instead, which also
+			// publishes the final event so SSE subscribers don't hang.
+			s.settleCanceled(ex)
+			s.queue.wg.Done()
+			continue
+		}
 		ws.set(ex.key)
 		s.run(ex)
 		ws.set("")
 		s.queue.wg.Done()
 	}
+}
+
+// settleCanceled settles a canceled-while-queued execution without
+// running it: the outcome is AbortCanceled with a minimal report, every
+// still-attached job completes, and ex.done closes so waiters and event
+// streams observe the end of the lifecycle exactly as they would for a
+// search that ran and was stopped.
+func (s *Server) settleCanceled(ex *execution) {
+	s.skipped.Add(1)
+	out := &outcome{abort: mc.AbortCanceled}
+	if !ex.isDiscover {
+		rep := cliutil.NewReport("mcserved")
+		run := rep.Run("canceled before start")
+		run.SetModel(ex.sys, &ex.goal)
+		run.SetOptions(ex.opts)
+		run.SetResult(mc.Result{Abort: mc.AbortCanceled})
+		out.report = run
+	}
+	jobs := s.cache.settle(ex, out)
+	for _, j := range jobs {
+		j.complete(out)
+	}
+	close(ex.done)
+	s.logf("exec %s: skipped (canceled while queued, %d job(s))", shortKey(ex.key), len(jobs))
 }
 
 // submit admits one decoded request: it resolves the model, computes the
@@ -232,12 +315,14 @@ func (s *Server) place(ex *execution) (*Job, error) {
 		job.exec = ex
 		if !s.queue.tryPush(ex) {
 			// Admission control: undo the in-flight registration and
-			// reject; the job record never becomes visible.
+			// reject; the job record never becomes visible. The 429 names
+			// the tenant whose quota is exhausted — other tenants' slots
+			// are untouched.
 			s.cache.abandon(ex)
 			s.jobs.remove(job.ID)
-			return nil, errQueueFull
+			return nil, errQueueFullFor(ex.tenant)
 		}
-		s.logf("job %s: queued (%s)", job.ID, shortKey(ex.key))
+		s.logf("job %s: queued (%s, tenant %q)", job.ID, shortKey(ex.key), ex.tenant)
 	}
 	return job, nil
 }
@@ -259,6 +344,8 @@ func (s *Server) buildExecution(req *SubmitRequest) (*execution, error) {
 
 	ex := &execution{done: make(chan struct{})}
 	ex.ctx, ex.cancel = context.WithCancel(context.Background())
+	ex.tenant = req.tenant
+	ex.resynth = req.Resynthesis
 
 	switch {
 	case req.Model != "" && req.Plant != nil:
@@ -340,6 +427,7 @@ func (s *Server) buildDiscover(req *DiscoverRequest) (*execution, error) {
 
 	ex := &execution{done: make(chan struct{})}
 	ex.ctx, ex.cancel = context.WithCancel(context.Background())
+	ex.tenant = req.tenant
 	ex.isDiscover = true
 	ex.plantCfg = cfg
 	ex.budget = req.budget()
@@ -406,7 +494,11 @@ func (s *Server) execute(ex *execution) *outcome {
 	// file a drained or timed-out run leaves behind is found by exactly the
 	// resubmissions that would have hit its cache entry — including on a
 	// freshly restarted server whose in-memory cache is empty.
-	var ckptPath string
+	kind := "model"
+	if ex.isPlant {
+		kind = "plant"
+	}
+	var ckptPath, warmFrom, warmGroupKey string
 	if s.cfg.CheckpointDir != "" && opts.Search != mc.BSH {
 		ckptPath = filepath.Join(s.cfg.CheckpointDir, ex.key+".ckpt")
 		opts.Checkpoint = mc.CheckpointOptions{
@@ -414,6 +506,31 @@ func (s *Server) execute(ex *execution) *outcome {
 			Interval: s.cfg.CheckpointEvery,
 			Resume:   true,
 			ModelSHA: ex.modelSHA,
+			Meta:     kind,
+		}
+		if s.cfg.WarmStart {
+			opts.Checkpoint.KeepFinal = true
+			if canon, err := opts.CanonicalJSON(); err == nil {
+				warmGroupKey = warmGroup(kind, canon)
+			}
+			if hdr, err := snapshot.ReadHeader(ckptPath); err == nil && hdr.Final {
+				// The exact key already has a final snapshot (a completed
+				// run, e.g. before a restart emptied the result cache).
+				// Resume would refuse it — a final checkpoint's frontier
+				// must not be replayed exactly (see mc.CheckpointOptions
+				// KeepFinal) — so seed a warm start from it instead.
+				opts.Checkpoint.Resume = false
+				opts.WarmStart.Path = ckptPath
+				warmFrom = ex.key
+			} else if s.warm != nil && warmGroupKey != "" {
+				// Near-miss: another key with the same kind and options —
+				// a different model, i.e. a disturbed re-synthesis — left
+				// a final snapshot to seed from.
+				if seed := s.warm.lookup(warmGroupKey, ex.key); seed != "" {
+					opts.WarmStart.Path = filepath.Join(s.cfg.CheckpointDir, seed+".ckpt")
+					warmFrom = seed
+				}
+			}
 		}
 	}
 	// retryFresh handles a poisoned checkpoint (corrupt file, stale format,
@@ -427,11 +544,48 @@ func (s *Server) execute(ex *execution) *outcome {
 		os.Remove(ckptPath)
 		return true
 	}
+	// retryCold decides whether a warm-started outcome must be re-derived
+	// cold: always when the engine flags a replay-invalid witness
+	// (mc.ErrWarmStart), and for any cross-model seed whose search ended
+	// negative or failed — a foreign model's state space may subsume zones
+	// this model would have explored further, so only a cold run may
+	// report "not satisfied". Seeding from the query's own key is exempt
+	// (the seeded zones are genuinely this model's), and canceled or
+	// limit-aborted searches are service outcomes either way. Warm starts
+	// change latency, never answers.
+	retryCold := func(err error, found bool, abort mc.AbortReason) bool {
+		if opts.WarmStart.Path == "" {
+			return false
+		}
+		if errors.Is(err, mc.ErrWarmStart) {
+			return true
+		}
+		if warmFrom == ex.key || abort != mc.AbortNone {
+			return false
+		}
+		return err != nil || !found
+	}
+	goCold := func() {
+		s.logf("exec %s: warm start from %s not conclusive; rerunning cold", shortKey(ex.key), shortKey(warmFrom))
+		opts.WarmStart = mc.WarmStartOptions{}
+		warmFrom = ""
+	}
+	// recordWarm publishes a cleanly completed search's final snapshot to
+	// the warm index so later near-miss queries can seed from it.
+	recordWarm := func() {
+		if s.warm != nil && opts.Checkpoint.KeepFinal && warmGroupKey != "" {
+			s.warm.record(ex.key, warmGroupKey)
+		}
+	}
 
 	out := &outcome{report: run}
 	if ex.isPlant {
 		res, err := core.SynthesizeContext(ex.ctx, ex.plantCfg, opts, synth.Options{})
 		if err != nil && retryFresh(err) {
+			res, err = core.SynthesizeContext(ex.ctx, ex.plantCfg, opts, synth.Options{})
+		}
+		if retryCold(err, err == nil, mc.AbortReason(run.Result.Abort)) {
+			goCold()
 			res, err = core.SynthesizeContext(ex.ctx, ex.plantCfg, opts, synth.Options{})
 		}
 		if err != nil {
@@ -445,13 +599,22 @@ func (s *Server) execute(ex *execution) *outcome {
 		}
 		out.found = true
 		out.resumed = res.Search.Resumed
+		if res.Search.WarmStarted && warmFrom != "" {
+			out.warmFrom = warmFrom
+			s.warmHits.Add(1)
+		}
 		out.schedule = scheduleJSON(res.Schedule)
 		out.program = programJSON(res.Program, res.Codec)
+		recordWarm()
 		return out
 	}
 
 	res, err := mc.ExploreContext(ex.ctx, ex.sys, ex.goal, opts)
 	if err != nil && retryFresh(err) {
+		res, err = mc.ExploreContext(ex.ctx, ex.sys, ex.goal, opts)
+	}
+	if retryCold(err, res.Found, res.Abort) {
+		goCold()
 		res, err = mc.ExploreContext(ex.ctx, ex.sys, ex.goal, opts)
 	}
 	if err != nil {
@@ -461,6 +624,13 @@ func (s *Server) execute(ex *execution) *outcome {
 	out.found = res.Found
 	out.abort = res.Abort
 	out.resumed = res.Resumed
+	if res.WarmStarted && warmFrom != "" {
+		out.warmFrom = warmFrom
+		s.warmHits.Add(1)
+	}
+	if res.Abort == mc.AbortNone {
+		recordWarm()
+	}
 	return out
 }
 
@@ -526,6 +696,11 @@ func (s *Server) Drain(ctx context.Context) {
 			<-settled
 		}
 		s.queue.close()
+		if s.cfg.CheckpointDir != "" {
+			// The world is quiet: collect checkpoints of evicted keys so a
+			// long-lived deployment's disk usage stays bounded.
+			s.gcCheckpoints()
+		}
 		s.logf("drain: complete (%d execution(s) run)", s.finished.Load())
 	})
 }

@@ -28,11 +28,13 @@
 package snapshot
 
 import (
+	"bufio"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -144,6 +146,17 @@ type Checkpoint struct {
 	// Options is the canonical options JSON (mc.Options.CanonicalJSON) the
 	// search ran with. Resume requires byte equality.
 	Options []byte
+	// Meta is an opaque advisory label stamped by the producing layer (the
+	// serving layer records the cache-key kind here so near-miss checkpoints
+	// can be grouped into warm-start families without decoding node tables).
+	// Resume never interprets it.
+	Meta string
+	// Final marks a checkpoint written at the natural end of a completed
+	// search (mc.CheckpointOptions.KeepFinal) rather than at an abort point.
+	// Final checkpoints are warm-start seeds only: their frontier reflects a
+	// finished search, so an exact resume from one could terminate with the
+	// wrong verdict and is refused by the resume path.
+	Final bool
 	// Nodes is the retained search tree; Store and Frontier index into it.
 	Nodes []Node
 	// Store lists the passed-store entries as node indices, buckets in
@@ -160,6 +173,11 @@ type Checkpoint struct {
 type header struct {
 	ModelSHA string          `json:"model_sha256"`
 	Options  json.RawMessage `json:"options"`
+	// Meta and Final ride in the header JSON as optional fields: a version-1
+	// reader that predates them simply ignores the keys, so stamping them
+	// needs no format-version bump.
+	Meta  string `json:"meta,omitempty"`
+	Final bool   `json:"final,omitempty"`
 }
 
 // Encode serializes the checkpoint to its binary form (magic through
@@ -170,7 +188,12 @@ func (cp *Checkpoint) Encode() ([]byte, error) {
 	buf = append(buf, magic[:]...)
 	buf = binary.LittleEndian.AppendUint32(buf, FormatVersion)
 
-	hdr, err := json.Marshal(header{ModelSHA: cp.ModelSHA, Options: json.RawMessage(cp.Options)})
+	hdr, err := json.Marshal(header{
+		ModelSHA: cp.ModelSHA,
+		Options:  json.RawMessage(cp.Options),
+		Meta:     cp.Meta,
+		Final:    cp.Final,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("snapshot: encoding header: %w", err)
 	}
@@ -236,6 +259,69 @@ func Load(path string) (*Checkpoint, error) {
 	return Decode(data)
 }
 
+// Header is the identity portion of a checkpoint: the fields of the header
+// section, readable without decoding — or hash-verifying — the node table.
+type Header struct {
+	ModelSHA string
+	Options  []byte
+	Meta     string
+	Final    bool
+}
+
+// ReadHeader parses just the magic, version, and header section of the
+// checkpoint at path. It deliberately skips the footer hash: the answer is
+// advisory identity information (which model, which options, which warm
+// family) in O(header) time regardless of node-table size. Anything acting
+// on the node table must go through Load/Decode, which verify in full.
+func ReadHeader(path string) (*Header, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 4096)
+
+	var pre [len(magic) + 4]byte
+	if _, err := io.ReadFull(br, pre[:]); err != nil {
+		return nil, fmt.Errorf("%w: file shorter than magic+version", ErrCorrupt)
+	}
+	if string(pre[:len(magic)]) != string(magic[:]) {
+		return nil, ErrBadMagic
+	}
+	if v := binary.LittleEndian.Uint32(pre[len(magic):]); v != FormatVersion {
+		return nil, fmt.Errorf("%w: file has version %d, this build reads %d", ErrVersion, v, FormatVersion)
+	}
+	// Scan sections until the header turns up (our writer emits it first;
+	// tolerating any order costs only skipped reads). The trailing footer
+	// has no section framing, so a header-less file errors out on it or on
+	// EOF — either way ErrCorrupt.
+	for {
+		tag, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("%w: no header section before EOF", ErrCorrupt)
+		}
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: section %d length truncated", ErrCorrupt, tag)
+		}
+		if tag != secHeader {
+			if _, err := br.Discard(int(n)); err != nil {
+				return nil, fmt.Errorf("%w: section %d overruns file", ErrCorrupt, tag)
+			}
+			continue
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return nil, fmt.Errorf("%w: header section overruns file", ErrCorrupt)
+		}
+		var h header
+		if err := json.Unmarshal(payload, &h); err != nil {
+			return nil, fmt.Errorf("%w: header section: %v", ErrCorrupt, err)
+		}
+		return &Header{ModelSHA: h.ModelSHA, Options: []byte(h.Options), Meta: h.Meta, Final: h.Final}, nil
+	}
+}
+
 // Decode parses the binary form produced by Encode.
 func Decode(data []byte) (*Checkpoint, error) {
 	if len(data) < len(magic)+4+sha256.Size {
@@ -278,6 +364,8 @@ func Decode(data []byte) (*Checkpoint, error) {
 			if err = json.Unmarshal(payload, &h); err == nil {
 				cp.ModelSHA = h.ModelSHA
 				cp.Options = []byte(h.Options)
+				cp.Meta = h.Meta
+				cp.Final = h.Final
 			}
 		case secNodes:
 			err = cp.decodeNodes(payload)
