@@ -131,7 +131,7 @@ func main() {
 		fleetBatches = flag.Int("fleet-batches", 2, "fleet mode: batches per plant instance")
 		fleetOut     = flag.String("fleet-out", "BENCH_fleet.json", "fleet mode: output JSON path")
 
-		serveURL = flag.String("serve-url", "", "load-generator mode: benchmark a running mcserved at this base URL instead of the engine suite")
+		serveURL    = flag.String("serve-url", "", "load-generator mode: benchmark a running mcserved at this base URL instead of the engine suite")
 		clients     = flag.Int("clients", 8, "load-generator concurrent clients")
 		requests    = flag.Int("requests", 200, "load-generator total requests")
 		serveModels = flag.Int("serve-models", 4, "load-generator distinct models in the request mix")

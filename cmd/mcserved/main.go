@@ -60,8 +60,9 @@ func main() {
 		warmStart    = flag.Bool("warm-start", false, "keep completed searches' final checkpoints and seed re-synthesis of nearby models from them (requires -checkpoint-dir)")
 		tenantQuota  = flag.Int("tenant-quota", 0, "per-tenant queued-job quota (0 = the -queue depth); tenancy from the X-Tenant header")
 		tenantWeight = flag.String("tenant-weights", "", "weighted-fair shares as tenant=weight,... (absent tenants weigh 1)")
-		ckptGCAge    = flag.Duration("checkpoint-gc-age", 24*time.Hour, "delete checkpoint files older than this at startup and drain")
+		ckptGCAge    = flag.Duration("checkpoint-gc-age", 24*time.Hour, "delete checkpoint files older than this")
 		ckptGCMax    = flag.Int("checkpoint-gc-max", 1024, "keep at most this many checkpoint files")
+		ckptGCEvery  = flag.Duration("checkpoint-gc-every", 5*time.Minute, "period of the background checkpoint GC sweep (GC also runs at startup, drain, and on count overflow)")
 	)
 	flag.Parse()
 
@@ -86,19 +87,20 @@ func main() {
 		os.Exit(1)
 	}
 	srv := serve.New(serve.Config{
-		Workers:         *workers,
-		QueueDepth:      *queueDepth,
-		TenantQuota:     *tenantQuota,
-		TenantWeights:   weights,
-		JobTimeout:      *jobTimeout,
-		SnapshotEvery:   *snapshot,
-		CacheSize:       *cacheSize,
-		CheckpointDir:   *ckptDir,
-		CheckpointEvery: *ckptEvery,
-		WarmStart:       *warmStart,
-		CheckpointGCAge: *ckptGCAge,
-		CheckpointGCMax: *ckptGCMax,
-		Logf:            logf,
+		Workers:           *workers,
+		QueueDepth:        *queueDepth,
+		TenantQuota:       *tenantQuota,
+		TenantWeights:     weights,
+		JobTimeout:        *jobTimeout,
+		SnapshotEvery:     *snapshot,
+		CacheSize:         *cacheSize,
+		CheckpointDir:     *ckptDir,
+		CheckpointEvery:   *ckptEvery,
+		WarmStart:         *warmStart,
+		CheckpointGCAge:   *ckptGCAge,
+		CheckpointGCMax:   *ckptGCMax,
+		CheckpointGCEvery: *ckptGCEvery,
+		Logf:              logf,
 	})
 	expvar.Publish("mcserve", srv.StatusVar())
 	if *pprofAddr != "" {

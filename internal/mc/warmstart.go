@@ -27,7 +27,10 @@ import (
 //   - any witness whose path crosses seeded states — including the
 //     instant witnesses taken directly from seeded goal states — is
 //     replayed transition by transition from this model's initial state
-//     before it is reported. A seeded path that does not replay is never
+//     before it is reported; a deadlock witness additionally has its
+//     successor-freeness recomputed on the replayed (this-model) zone,
+//     which can be strictly larger than the seeded zone it was found
+//     through. A seeded path that does not replay is never
 //     returned: instant candidates are skipped, and a search-found witness
 //     with an invalid seeded prefix fails the run with ErrWarmStart so the
 //     caller can fall back to a cold search.
@@ -305,9 +308,14 @@ func (c *engineCtx) transitionShaped(t Transition) bool {
 // guards, invariants, delay closure). Returns the final node — whose
 // traceOf is exactly trace — or nil if any step fails or the final state
 // misses the goal's discrete conditions. For deadlock goals the
-// deadlock-ness itself needs no recheck: the searched zone over-approximates
-// the replayed one (seeded zones only ever shrink under re-validation, and
-// successors of a larger zone are a superset), so no-successors transfers.
+// deadlock-ness is rechecked on the replayed node: the seeded zone the
+// search judged deadlocked does NOT over-approximate the replayed one —
+// re-validation only intersects the old-model zone with this model's
+// invariants, so when this model relaxes a guard or invariant along the
+// path (an extended deadline) the replayed zone can be strictly larger
+// and have successors the seeded zone lacked. Requiring the freshly
+// computed successor set of the replayed node to be empty is what makes a
+// replayed deadlock witness a witness of THIS model.
 func (c *engineCtx) replayTrace(trace []Transition, goal Goal) *node {
 	en := c.en
 	cur, err := c.initial()
@@ -356,6 +364,16 @@ func (c *engineCtx) replayTrace(trace []Transition, goal Goal) *node {
 	}
 	if !goal.Satisfied(cur.locs, cur.env) {
 		return nil
+	}
+	if goal.Deadlock {
+		deadlocked := true
+		c.successors(cur, func(s *node) {
+			deadlocked = false
+			c.recycleNode(s)
+		})
+		if !deadlocked {
+			return nil
+		}
 	}
 	return cur
 }

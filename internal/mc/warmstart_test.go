@@ -261,6 +261,84 @@ func TestWarmStartInvalidSeededWitnessErrs(t *testing.T) {
 	}
 }
 
+// deadlineModel builds l0 -> l1 -> l2 where l1 carries the invariant
+// x <= inv and the outgoing edge is guarded x > 5: with inv < 5 the guard
+// can never fire before the invariant blocks delay, so l1 is a deadlock;
+// with inv > 5 (a relaxed deadline) l1 always has a successor.
+func deadlineModel(t testing.TB, inv int32) (*ta.System, mc.Goal) {
+	t.Helper()
+	s := ta.NewSystem("deadline")
+	x := s.AddClock("x")
+	a := s.AddAutomaton("A")
+	l0 := a.AddLocation("l0", ta.Normal)
+	l1 := a.AddLocation("l1", ta.Normal)
+	l2 := a.AddLocation("l2", ta.Normal)
+	a.SetInit(l0)
+	a.SetInvariant(l1, ta.LE(x, inv))
+	a.Edge(l0, l1).Done()
+	a.Edge(l1, l2).When(ta.GT(x, 5)).Done()
+	return s, mc.Goal{Desc: "deadlock at l1", Deadlock: true,
+		Locs: []mc.LocRequirement{{Automaton: 0, Location: l1}}}
+}
+
+// TestWarmStartDeadlockRelaxedModelErrs guards against the false-positive
+// deadlock witness: the seed run (deadline 3) is interrupted with l1 still
+// on the frontier, so the warm run of the relaxed model (deadline 10)
+// pops the seeded l1 whose inherited zone x<=3 cannot fire the x>5 edge —
+// a deadend on the seeded zone, but NOT on this model, whose replayed
+// zone x<=10 has a successor. The run must fail with ErrWarmStart (so a
+// server falls back cold), never report the deadlock the relaxed model
+// does not have.
+func TestWarmStartDeadlockRelaxedModelErrs(t *testing.T) {
+	seedSys, seedGoal := deadlineModel(t, 3)
+	path := filepath.Join(t.TempDir(), "seed.ckpt")
+	opts := mc.DefaultOptions(mc.BFS)
+	opts.MaxStates = 1 // interrupt after expanding l0: l1 stays frontier
+	opts.Checkpoint = mc.CheckpointOptions{Path: path}
+	res, err := mc.Explore(seedSys, seedGoal, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Abort != mc.AbortStates || res.Found {
+		t.Fatalf("seeding run: abort=%q found=%v, want clean state-limit interrupt", res.Abort, res.Found)
+	}
+
+	// The relaxed model has no deadlock at l1; cold search proves it.
+	coldSys, coldGoal := deadlineModel(t, 10)
+	cold, err := mc.Explore(coldSys, coldGoal, mc.DefaultOptions(mc.BFS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Found {
+		t.Fatal("relaxed model deadlocks at l1 cold; test model broken")
+	}
+
+	warmSys, warmGoal := deadlineModel(t, 10)
+	wopts := mc.DefaultOptions(mc.BFS)
+	wopts.WarmStart = mc.WarmStartOptions{Path: path}
+	warm, err := mc.Explore(warmSys, warmGoal, wopts)
+	if err == nil && warm.Found {
+		t.Fatalf("warm run reported a deadlock the relaxed model does not have (trace %v)", warm.Trace)
+	}
+	if !errors.Is(err, mc.ErrWarmStart) {
+		t.Fatalf("got %v, want ErrWarmStart", err)
+	}
+
+	// The unrelaxed model still finds its genuine deadlock through the
+	// same warm seed: the replayed zone equals the seeded one, and the
+	// successor recheck confirms rather than refutes it.
+	sameSys, sameGoal := deadlineModel(t, 3)
+	sopts := mc.DefaultOptions(mc.BFS)
+	sopts.WarmStart = mc.WarmStartOptions{Path: path}
+	same, err := mc.Explore(sameSys, sameGoal, sopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !same.WarmStarted || !same.Found {
+		t.Fatalf("same-model warm deadlock run: WarmStarted=%v Found=%v, want both", same.WarmStarted, same.Found)
+	}
+}
+
 // TestWarmStartRejections: option combinations that cannot be honored must
 // fail validation, and warm starting must not leak into the canonical
 // options JSON (it would split cache identities by a process-local path).

@@ -377,6 +377,27 @@ func TestCheckpointGC(t *testing.T) {
 	cancelJob(t, ts, running.ID)
 }
 
+// TestCheckpointGCPeriodic: the background sweep collects files that go
+// stale while the server is up — a long-lived deployment must not need a
+// drain or restart for age-based GC to happen.
+func TestCheckpointGCPeriodic(t *testing.T) {
+	dir := t.TempDir()
+	newTestServer(t, Config{Workers: 1, CheckpointDir: dir,
+		CheckpointGCAge: time.Hour, CheckpointGCEvery: 10 * time.Millisecond})
+	p := filepath.Join(dir, "stale.ckpt")
+	if err := os.WriteFile(p, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-2 * time.Hour)
+	if err := os.Chtimes(p, old, old); err != nil {
+		t.Fatal(err)
+	}
+	pollUntil(t, 5*time.Second, "background GC to collect the stale checkpoint", func() bool {
+		_, err := os.Stat(p)
+		return os.IsNotExist(err)
+	})
+}
+
 // TestCheckpointGCCount: the count bound keeps only the newest files.
 func TestCheckpointGCCount(t *testing.T) {
 	dir := t.TempDir()

@@ -142,7 +142,6 @@ type execution struct {
 	tenant  string
 	resynth bool
 
-
 	// isDiscover marks a guide-search job; budget and seed parameterize
 	// the search (cfg comes from plantCfg).
 	isDiscover bool

@@ -108,12 +108,18 @@ type Config struct {
 	// validation, so warm starts can change latency but never answers.
 	WarmStart bool
 	// CheckpointGCAge and CheckpointGCMax bound the checkpoint directory:
-	// on startup and after a drain, checkpoint files older than GCAge
-	// (default 24h) or beyond the GCMax newest (default 1024) are deleted,
-	// except files referenced by in-flight executions. Without GC, evicted
-	// cache keys would leak their checkpoint files forever.
+	// checkpoint files older than GCAge (default 24h) or beyond the GCMax
+	// newest (default 1024) are deleted, except files referenced by
+	// in-flight executions. GC runs at startup, after a drain, every
+	// CheckpointGCEvery while the server is up, and whenever recording a
+	// kept final snapshot pushes the file count past GCMax — so a
+	// long-lived server that never drains stays bounded too. Without GC,
+	// evicted cache keys would leak their checkpoint files forever.
 	CheckpointGCAge time.Duration
 	CheckpointGCMax int
+	// CheckpointGCEvery is the period of the background checkpoint GC
+	// sweep (default 5m).
+	CheckpointGCEvery time.Duration
 	// Logf, when set, receives one line per lifecycle event (admission,
 	// completion, drain). Nil means silent.
 	Logf func(format string, args ...any)
@@ -144,6 +150,9 @@ func (c Config) withDefaults() Config {
 	if c.CheckpointGCMax <= 0 {
 		c.CheckpointGCMax = 1024
 	}
+	if c.CheckpointGCEvery <= 0 {
+		c.CheckpointGCEvery = 5 * time.Minute
+	}
 	return c
 }
 
@@ -163,6 +172,10 @@ type Server struct {
 	finished atomic.Int64 // executions completed (any outcome)
 	skipped  atomic.Int64 // canceled-while-queued executions settled unrun
 	warmHits atomic.Int64 // executions that actually warm-started
+
+	gcMu      sync.Mutex    // serializes gcCheckpoints sweeps
+	ckptFiles atomic.Int64  // approximate checkpoint-file count (resynced by each sweep)
+	gcStop    chan struct{} // closes on Drain to stop the background GC sweep
 
 	drainOnce sync.Once
 }
@@ -197,6 +210,8 @@ func New(cfg Config) *Server {
 			n := s.warm.scan(cfg.CheckpointDir)
 			s.logf("warm start: indexed %d checkpoint(s)", n)
 		}
+		s.gcStop = make(chan struct{})
+		go s.gcLoop()
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker(i)
@@ -484,9 +499,13 @@ func (s *Server) execute(ex *execution) *outcome {
 	run.SetOptions(ex.opts)
 
 	opts := ex.opts
+	// engineRes captures the engine's own Result — the plant pipeline
+	// reports negatives and aborts as errors, losing the mc.Result that
+	// says whether the search actually warm-started (retryCold needs it).
+	var engineRes mc.Result
 	opts.Observer = mc.Observers(
 		run.Observer(),
-		&mc.FuncObserver{OnSnapshot: ex.publish},
+		&mc.FuncObserver{OnSnapshot: ex.publish, OnDone: func(r mc.Result) { engineRes = r }},
 		opts.Observer,
 	)
 
@@ -549,21 +568,28 @@ func (s *Server) execute(ex *execution) *outcome {
 	// (mc.ErrWarmStart), and for any cross-model seed whose search ended
 	// negative or failed — a foreign model's state space may subsume zones
 	// this model would have explored further, so only a cold run may
-	// report "not satisfied". Seeding from the query's own key is exempt
-	// (the seeded zones are genuinely this model's), and canceled or
-	// limit-aborted searches are service outcomes either way. Warm starts
-	// change latency, never answers.
-	retryCold := func(err error, found bool, abort mc.AbortReason) bool {
+	// report "not satisfied". The retry is gated on the engine actually
+	// having seeded something (res.WarmStarted with WarmSeeded > 0): a
+	// missing or unusable seed file, or one whose states were all dropped
+	// by re-validation, means the search already ran cold and rerunning it
+	// would just repeat the identical work. Seeding from the query's own
+	// key is exempt (the seeded zones are genuinely this model's), and
+	// canceled or limit-aborted searches are service outcomes either way.
+	// Warm starts change latency, never answers.
+	retryCold := func(err error, res mc.Result) bool {
 		if opts.WarmStart.Path == "" {
 			return false
 		}
 		if errors.Is(err, mc.ErrWarmStart) {
 			return true
 		}
-		if warmFrom == ex.key || abort != mc.AbortNone {
+		if warmFrom == ex.key || res.Abort != mc.AbortNone {
 			return false
 		}
-		return err != nil || !found
+		if !res.WarmStarted || res.Stats.WarmSeeded == 0 {
+			return false
+		}
+		return err != nil || !res.Found
 	}
 	goCold := func() {
 		s.logf("exec %s: warm start from %s not conclusive; rerunning cold", shortKey(ex.key), shortKey(warmFrom))
@@ -571,10 +597,15 @@ func (s *Server) execute(ex *execution) *outcome {
 		warmFrom = ""
 	}
 	// recordWarm publishes a cleanly completed search's final snapshot to
-	// the warm index so later near-miss queries can seed from it.
+	// the warm index so later near-miss queries can seed from it, and
+	// sweeps the checkpoint directory when the kept files have grown past
+	// the GC bound (the count is approximate; the sweep resyncs it).
 	recordWarm := func() {
 		if s.warm != nil && opts.Checkpoint.KeepFinal && warmGroupKey != "" {
 			s.warm.record(ex.key, warmGroupKey)
+			if s.ckptFiles.Add(1) > int64(s.cfg.CheckpointGCMax) {
+				s.gcCheckpoints()
+			}
 		}
 	}
 
@@ -584,7 +615,7 @@ func (s *Server) execute(ex *execution) *outcome {
 		if err != nil && retryFresh(err) {
 			res, err = core.SynthesizeContext(ex.ctx, ex.plantCfg, opts, synth.Options{})
 		}
-		if retryCold(err, err == nil, mc.AbortReason(run.Result.Abort)) {
+		if retryCold(err, engineRes) {
 			goCold()
 			res, err = core.SynthesizeContext(ex.ctx, ex.plantCfg, opts, synth.Options{})
 		}
@@ -613,7 +644,7 @@ func (s *Server) execute(ex *execution) *outcome {
 	if err != nil && retryFresh(err) {
 		res, err = mc.ExploreContext(ex.ctx, ex.sys, ex.goal, opts)
 	}
-	if retryCold(err, res.Found, res.Abort) {
+	if retryCold(err, res) {
 		goCold()
 		res, err = mc.ExploreContext(ex.ctx, ex.sys, ex.goal, opts)
 	}
@@ -682,6 +713,9 @@ func (s *Server) executeDiscover(ex *execution) *outcome {
 func (s *Server) Drain(ctx context.Context) {
 	s.draining.Store(true)
 	s.drainOnce.Do(func() {
+		if s.gcStop != nil {
+			close(s.gcStop)
+		}
 		s.logf("drain: admission closed, %d execution(s) in flight", s.cache.inflightCount())
 		settled := make(chan struct{})
 		go func() {

@@ -120,11 +120,16 @@ func (w *warmIndex) forgetLocked(key string) {
 // gcCheckpoints bounds the checkpoint directory: files older than
 // Config.CheckpointGCAge or beyond the CheckpointGCMax newest are
 // deleted, except those referenced by in-flight executions. Runs at
-// startup and after a drain — the two moments the file set is quiet —
-// so evicted cache keys no longer leak their checkpoints forever.
+// startup, after a drain, on the gcLoop timer, and when recording a kept
+// final snapshot overflows the count bound — so evicted cache keys no
+// longer leak their checkpoints forever, even on a server that never
+// drains. Sweeps are serialized; each resyncs the approximate file count.
 func (s *Server) gcCheckpoints() {
+	s.gcMu.Lock()
+	defer s.gcMu.Unlock()
 	names, err := filepath.Glob(filepath.Join(s.cfg.CheckpointDir, "*.ckpt"))
 	if err != nil || len(names) == 0 {
+		s.ckptFiles.Store(0)
 		return
 	}
 	type ckptFile struct {
@@ -165,7 +170,25 @@ func (s *Server) gcCheckpoints() {
 			}
 		}
 	}
+	s.ckptFiles.Store(int64(len(files) - removed))
 	if removed > 0 {
 		s.logf("checkpoint gc: removed %d of %d file(s)", removed, len(files))
+	}
+}
+
+// gcLoop sweeps the checkpoint directory every Config.CheckpointGCEvery
+// until Drain, so age-based GC happens on a live server too (the kept
+// final snapshots of a never-draining deployment would otherwise outlive
+// CheckpointGCAge until the next restart).
+func (s *Server) gcLoop() {
+	t := time.NewTicker(s.cfg.CheckpointGCEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.gcStop:
+			return
+		case <-t.C:
+			s.gcCheckpoints()
+		}
 	}
 }

@@ -279,6 +279,11 @@ func ReadHeader(path string) (*Header, error) {
 		return nil, err
 	}
 	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
 	br := bufio.NewReaderSize(f, 4096)
 
 	var pre [len(magic) + 4]byte
@@ -303,6 +308,13 @@ func ReadHeader(path string) (*Header, error) {
 		n, err := binary.ReadUvarint(br)
 		if err != nil {
 			return nil, fmt.Errorf("%w: section %d length truncated", ErrCorrupt, tag)
+		}
+		// Bound the unvalidated length by the file size before allocating
+		// or discarding: a corrupt uvarint must yield ErrCorrupt, not a
+		// multi-GB allocation (or an int overflow on 32-bit platforms).
+		const maxInt = uint64(^uint(0) >> 1)
+		if n > uint64(size) || n > maxInt {
+			return nil, fmt.Errorf("%w: section %d length %d exceeds file size %d", ErrCorrupt, tag, n, size)
 		}
 		if tag != secHeader {
 			if _, err := br.Discard(int(n)); err != nil {

@@ -217,6 +217,26 @@ func TestDecodeTruncation(t *testing.T) {
 	}
 }
 
+// TestReadHeaderBoundsSectionLength: a corrupt or truncated checkpoint
+// whose section-length uvarint decodes to an absurd value must fail with
+// ErrCorrupt instead of attempting a multi-gigabyte allocation (or
+// overflowing int on 32-bit in the discard path).
+func TestReadHeaderBoundsSectionLength(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "huge.ckpt")
+	prefix := append(append([]byte{}, magic[:]...), 0, 0, 0, 0)
+	binary.LittleEndian.PutUint32(prefix[len(magic):], FormatVersion)
+	for name, tag := range map[string]byte{"header": secHeader, "skipped": secNodes} {
+		data := append(append([]byte{}, prefix...), tag)
+		data = binary.AppendUvarint(data, 1<<62) // claims ~4 EiB of payload
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadHeader(path); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("%s section: got %v, want ErrCorrupt", name, err)
+		}
+	}
+}
+
 func TestDecodeRejectsBadIndices(t *testing.T) {
 	for name, mutate := range map[string]func(*Checkpoint){
 		"store-oob":    func(cp *Checkpoint) { cp.Store = []int32{99} },
